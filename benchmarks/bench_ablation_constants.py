@@ -1,0 +1,89 @@
+"""Ablations for BLAST's design constants (beyond the paper's figures).
+
+The paper fixes several constants with one-line justifications; these
+sweeps make the claimed trade-offs measurable:
+
+* Section 3.3.2: "a higher value for c can achieve higher PC, but at the
+  expense of PQ" — the c sweep.
+* Section 3.3.2: d = 2 makes the edge threshold the mean of the endpoint
+  thresholds — the d sweep shows its sensitivity.
+* Footnote 9: "20% [filtering] is a tradeoff that almost does not affect
+  PC" — the filtering-ratio sweep.
+* Algorithm 1: alpha = 0.9 as the "nearly similar" candidate factor — the
+  alpha sweep shows robustness of the induced partitioning.
+"""
+
+from harness import clean_dataset, write_result
+
+from repro.core import Blast, BlastConfig
+from repro.metrics import evaluate_blocks
+
+DATASET = "ar2"  # the hardest fully mappable pair: trade-offs are visible
+
+
+def _quality(config: BlastConfig):
+    dataset = clean_dataset(DATASET)
+    result = Blast(config).run(dataset)
+    return evaluate_blocks(result.blocks, dataset)
+
+
+def test_ablation_pruning_c(benchmark):
+    def sweep():
+        rows = [f"Ablation - pruning constant c on {DATASET} "
+                "(theta_i = max_i / c)"]
+        for c in (1.0, 1.5, 2.0, 3.0, 5.0):
+            q = _quality(BlastConfig(pruning_c=c))
+            rows.append(f"  c={c:>4}: PC={q.pair_completeness:7.2%} "
+                        f"PQ={q.pair_quality:9.4%} F1={q.f1:6.3f}")
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    write_result("ablation_pruning_c", "\n".join(rows))
+    # the paper's claim: PC non-decreasing in c, PQ non-increasing
+    pcs = [float(r.split("PC=")[1].split("%")[0]) for r in rows[1:]]
+    assert pcs == sorted(pcs)
+
+
+def test_ablation_pruning_d(benchmark):
+    def sweep():
+        rows = [f"Ablation - combiner constant d on {DATASET} "
+                "(theta_ij = (theta_i + theta_j) / d)"]
+        for d in (1.0, 1.5, 2.0, 3.0, 4.0):
+            q = _quality(BlastConfig(pruning_d=d))
+            rows.append(f"  d={d:>4}: PC={q.pair_completeness:7.2%} "
+                        f"PQ={q.pair_quality:9.4%} F1={q.f1:6.3f}")
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    write_result("ablation_pruning_d", "\n".join(rows))
+
+
+def test_ablation_filtering_ratio(benchmark):
+    def sweep():
+        rows = [f"Ablation - block filtering ratio on {DATASET} "
+                "(keep each profile in ratio * |B_i| smallest blocks)"]
+        for ratio in (0.5, 0.6, 0.8, 0.9, 1.0):
+            q = _quality(BlastConfig(filtering_ratio=ratio))
+            rows.append(f"  ratio={ratio:>4}: PC={q.pair_completeness:7.2%} "
+                        f"PQ={q.pair_quality:9.4%} F1={q.f1:6.3f}")
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    write_result("ablation_filtering_ratio", "\n".join(rows))
+    # footnote 9: the default 0.8 must cost almost no PC vs no filtering
+    pc_080 = float(rows[3].split("PC=")[1].split("%")[0])
+    pc_100 = float(rows[5].split("PC=")[1].split("%")[0])
+    assert pc_100 - pc_080 < 1.0
+
+
+def test_ablation_lmi_alpha(benchmark):
+    def sweep():
+        rows = [f"Ablation - LMI candidate factor alpha on {DATASET}"]
+        for alpha in (0.5, 0.7, 0.9, 1.0):
+            q = _quality(BlastConfig(alpha=alpha))
+            rows.append(f"  alpha={alpha:>4}: PC={q.pair_completeness:7.2%} "
+                        f"PQ={q.pair_quality:9.4%} F1={q.f1:6.3f}")
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    write_result("ablation_lmi_alpha", "\n".join(rows))

@@ -1,0 +1,29 @@
+"""Figure 5: the LSH S-curve for r=5, b=30 with its estimated threshold."""
+
+from harness import write_result
+
+from repro.lsh import estimated_threshold, scurve_points
+
+ROWS, BANDS = 5, 30
+
+
+def test_fig5_scurve(benchmark):
+    def build():
+        similarities, probabilities = scurve_points(ROWS, BANDS, num=21)
+        threshold = estimated_threshold(ROWS, BANDS)
+        lines = [f"Figure 5 - S-curve for r={ROWS}, b={BANDS} "
+                 f"(estimated threshold {threshold:.3f})"]
+        for s, p in zip(similarities, probabilities):
+            bar = "#" * round(p * 40)
+            marker = " <- threshold" if abs(s - threshold) < 0.025 else ""
+            lines.append(f"  s={s:4.2f}  P={p:6.4f} |{bar:<40}|{marker}")
+        return lines
+
+    lines = benchmark.pedantic(build, iterations=1, rounds=1)
+    write_result("fig5_scurve", "\n".join(lines))
+
+    # Shape assertions: monotone, with the inflection near the threshold.
+    similarities, probabilities = scurve_points(ROWS, BANDS, num=101)
+    assert probabilities[0] == 0.0
+    assert probabilities[-1] > 0.999
+    assert all(b >= a for a, b in zip(probabilities, probabilities[1:]))

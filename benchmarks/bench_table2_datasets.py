@@ -1,0 +1,38 @@
+"""Table 2: dataset characteristics.
+
+Regenerates the |E|, |A|, nvp and |D_E| columns for the five clean-clean
+pairs (at this repo's default scale; the paper-scale parameters are in
+``repro.datasets.benchmarks.PAPER_SCALE``).
+"""
+
+from harness import clean_dataset, write_result
+
+from repro.datasets import dataset_characteristics, load_clean_clean
+from repro.datasets.benchmarks import CLEAN_CLEAN_DATASETS, PAPER_SCALE
+
+
+def test_table2_characteristics(benchmark):
+    def build_rows():
+        rows = []
+        for name in CLEAN_CLEAN_DATASETS:
+            stats = dataset_characteristics(clean_dataset(name))
+            paper = PAPER_SCALE[name]
+            rows.append(
+                f"{name:>4}  |E|={stats.size1:>6}-{stats.size2:>7} "
+                f"|A|={stats.attributes1:>5}-{stats.attributes2:>5} "
+                f"nvp={stats.nvp1 + stats.nvp2:>9,} "
+                f"|D_E|={stats.duplicates:>6,}   "
+                f"(paper: {paper['size1']:,}-{paper['size2']:,}, "
+                f"dup {paper['matches']:,})"
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    write_result("table2_datasets", "Table 2 - dataset characteristics\n" +
+                 "\n".join(rows))
+
+
+def test_table2_generation_speed(benchmark):
+    """Timed micro-bench: generating the ar1 pair from scratch."""
+    dataset = benchmark(lambda: load_clean_clean("ar1", seed=1))
+    assert dataset.num_duplicates > 0

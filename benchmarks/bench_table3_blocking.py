@@ -1,0 +1,60 @@
+"""Table 3: block-collection characteristics.
+
+For every dataset pair and both blocking modes — Token Blocking alone ("T")
+and with LMI ("L") — reports PC, PQ and ||B|| of the baseline (purged)
+collection and of the collection after Block Filtering, mirroring the
+paper's baseline / after-block-filtering halves.
+"""
+
+from harness import clean_dataset, partitioning_of, write_result
+
+from repro.blocking import (
+    LooselySchemaAwareBlocking,
+    TokenBlocking,
+    block_filtering,
+    block_purging,
+)
+from repro.metrics import evaluate_blocks
+
+DATASETS = ("ar1", "ar2", "prd", "mov", "dbp")
+
+
+def _row(label: str, dataset, blocks) -> str:
+    purged = block_purging(blocks, dataset.num_profiles)
+    filtered = block_filtering(purged)
+    q0 = evaluate_blocks(purged, dataset)
+    q1 = evaluate_blocks(filtered, dataset)
+    return (
+        f"{label:>6}  baseline: PC={q0.pair_completeness:7.2%} "
+        f"PQ={q0.pair_quality:9.4%} ||B||={q0.comparisons:10.3g}   "
+        f"after filtering: PC={q1.pair_completeness:7.2%} "
+        f"PQ={q1.pair_quality:9.4%} ||B||={q1.comparisons:10.3g}"
+    )
+
+
+def test_table3_block_collections(benchmark):
+    def build_rows():
+        rows = []
+        for name in DATASETS:
+            dataset = clean_dataset(name)
+            token = TokenBlocking().build(dataset)
+            rows.append(_row(f"{name} T", dataset, token))
+            aware = LooselySchemaAwareBlocking(
+                partitioning_of(name)
+            ).build(dataset)
+            rows.append(_row(f"{name} L", dataset, aware))
+        return rows
+
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    write_result(
+        "table3_blocking",
+        "Table 3 - block collections (T = Token Blocking, L = with LMI)\n"
+        + "\n".join(rows),
+    )
+
+
+def test_table3_token_blocking_speed(benchmark):
+    """Timed micro-bench: Token Blocking on the ar1 pair."""
+    dataset = clean_dataset("ar1")
+    blocks = benchmark(lambda: TokenBlocking().build(dataset))
+    assert len(blocks) > 0

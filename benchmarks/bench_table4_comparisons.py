@@ -1,0 +1,113 @@
+"""Table 4 (a-d): BLAST vs traditional and supervised meta-blocking.
+
+For each of ar1, ar2, prd, mov:
+
+* wnp1/wnp2/cnp1/cnp2 on Token Blocking ("T") and LMI blocking ("L"),
+  each averaged over the five traditional weighting schemes;
+* cnp1/cnp2 with BLAST's chi-squared x entropy weighting ("L chi2h");
+* supervised meta-blocking (SVM over edge features, 10% training);
+* BLAST.
+
+Plus the Section 4.1 sanity check: BLAST meta-blocking over manually
+aligned Standard Blocking equals BLAST over LMI on fully mappable data.
+"""
+
+from harness import (
+    BenchRow,
+    blast_row,
+    blocks_L,
+    blocks_T,
+    chi_h_mb_row,
+    clean_dataset,
+    lmi_overhead,
+    partitioning_of,
+    supervised_row,
+    traditional_mb_row,
+    write_result,
+)
+
+from repro.graph.pruning import CardinalityNodePruning, WeightNodePruning
+
+DATASETS = ("ar1", "ar2", "prd", "mov")
+
+
+def _table_for(name: str) -> list[BenchRow]:
+    dataset = clean_dataset(name)
+    T = blocks_T(name)
+    L = blocks_L(name)
+    part = partitioning_of(name)
+    lmi_cost = lmi_overhead(name)
+
+    rows: list[BenchRow] = []
+    for label, reciprocal in (("wnp1", False), ("wnp2", True)):
+        rows.append(traditional_mb_row(
+            f"{label} T", T, dataset, lambda r=reciprocal: WeightNodePruning(r)))
+        rows.append(traditional_mb_row(
+            f"{label} L", L, dataset, lambda r=reciprocal: WeightNodePruning(r),
+            extra_overhead=lmi_cost))
+    for label, reciprocal in (("cnp1", False), ("cnp2", True)):
+        rows.append(traditional_mb_row(
+            f"{label} T", T, dataset,
+            lambda r=reciprocal: CardinalityNodePruning(r)))
+        rows.append(traditional_mb_row(
+            f"{label} L", L, dataset,
+            lambda r=reciprocal: CardinalityNodePruning(r),
+            extra_overhead=lmi_cost))
+        rows.append(chi_h_mb_row(
+            f"{label} L chi2h", L, dataset,
+            CardinalityNodePruning(reciprocal), part,
+            extra_overhead=lmi_cost))
+    rows.append(supervised_row("sup. MB", T, dataset))
+    rows.append(blast_row("Blast", dataset))
+    return rows
+
+
+def _render(name: str, rows: list[BenchRow]) -> str:
+    return f"Table 4 ({name})\n" + "\n".join(r.formatted() for r in rows)
+
+
+def test_table4a_ar1(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("ar1"), iterations=1, rounds=1)
+    write_result("table4a_ar1", _render("ar1", rows))
+
+
+def test_table4b_ar2(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("ar2"), iterations=1, rounds=1)
+    write_result("table4b_ar2", _render("ar2", rows))
+
+
+def test_table4c_prd(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("prd"), iterations=1, rounds=1)
+    write_result("table4c_prd", _render("prd", rows))
+
+
+def test_table4d_mov(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("mov"), iterations=1, rounds=1)
+    write_result("table4d_mov", _render("mov", rows))
+
+
+def test_table4_standard_blocking_equivalence(benchmark):
+    """Section 4.1: on fully mappable data, BLAST over manual alignment
+    (Standard Blocking, token mode) matches BLAST over LMI."""
+    from repro.blocking import StandardBlocking, block_filtering, block_purging
+    from repro.graph import MetaBlocker
+    from repro.metrics import evaluate_blocks
+
+    def run():
+        dataset = clean_dataset("ar1")
+        blast = blast_row("Blast(LMI)", dataset)
+        alignment = {"title": "paper title", "authors": "author list",
+                     "venue": "publication venue", "year": "yr"}
+        manual = StandardBlocking(alignment, key_mode="token").build(dataset)
+        manual = block_filtering(block_purging(manual, dataset.num_profiles))
+        manual_quality = evaluate_blocks(MetaBlocker().run(manual), dataset)
+        return blast, manual_quality
+
+    blast, manual_quality = benchmark.pedantic(run, iterations=1, rounds=1)
+    write_result(
+        "table4_standard_equivalence",
+        "Section 4.1 - Blast vs schema-based Standard Blocking (ar1)\n"
+        f"{blast.formatted()}\n"
+        f"{'std+BlastMB':>16} PC={manual_quality.pair_completeness:7.2%} "
+        f"PQ={manual_quality.pair_quality:9.4%} F1={manual_quality.f1:6.3f}",
+    )

@@ -1,0 +1,78 @@
+"""Table 5: the dbp comparison, including the LSH-accelerated variants.
+
+Same rows as Table 4 plus "L*" (traditional meta-blocking over
+LSH-accelerated LMI blocking) and "Blast*" (full BLAST with the LSH step).
+"""
+
+from harness import (
+    BenchRow,
+    blast_row,
+    blocks_L,
+    blocks_T,
+    chi_h_mb_row,
+    clean_dataset,
+    lmi_overhead,
+    partitioning_of,
+    supervised_row,
+    traditional_mb_row,
+    write_result,
+)
+
+from repro.core import Blast, BlastConfig, prepare_blocks
+from repro.graph.pruning import CardinalityNodePruning, WeightNodePruning
+from repro.utils.timer import Timer
+
+NAME = "dbp"
+LSH_CONFIG = BlastConfig(use_lsh=True, lsh_threshold=0.3, seed=42)
+
+
+def _lsh_blocks_and_overhead():
+    dataset = clean_dataset(NAME)
+    blast = Blast(LSH_CONFIG)
+    with Timer() as timer:
+        partitioning = blast.extract_loose_schema(dataset)
+    blocks = prepare_blocks(dataset, partitioning)
+    return blocks, partitioning, timer.elapsed
+
+
+def test_table5_dbp(benchmark):
+    def build_rows():
+        dataset = clean_dataset(NAME)
+        T = blocks_T(NAME)
+        L = blocks_L(NAME)
+        part = partitioning_of(NAME)
+        lmi_cost = lmi_overhead(NAME)
+        L_star, _, lsh_cost = _lsh_blocks_and_overhead()
+
+        rows: list[BenchRow] = []
+        for label, reciprocal in (("wnp1", False), ("wnp2", True)):
+            rows.append(traditional_mb_row(
+                f"{label} T", T, dataset,
+                lambda r=reciprocal: WeightNodePruning(r)))
+            rows.append(traditional_mb_row(
+                f"{label} L*", L_star, dataset,
+                lambda r=reciprocal: WeightNodePruning(r),
+                extra_overhead=lsh_cost))
+        for label, reciprocal in (("cnp1", False), ("cnp2", True)):
+            rows.append(traditional_mb_row(
+                f"{label} T", T, dataset,
+                lambda r=reciprocal: CardinalityNodePruning(r)))
+            rows.append(traditional_mb_row(
+                f"{label} L*", L_star, dataset,
+                lambda r=reciprocal: CardinalityNodePruning(r),
+                extra_overhead=lsh_cost))
+            rows.append(chi_h_mb_row(
+                f"{label} L chi2h", L, dataset,
+                CardinalityNodePruning(reciprocal), part,
+                extra_overhead=lmi_cost))
+        rows.append(supervised_row("sup. MB", T, dataset))
+        rows.append(blast_row("Blast", dataset))
+        rows.append(blast_row("Blast*", dataset, LSH_CONFIG))
+        return rows
+
+    rows = benchmark.pedantic(build_rows, iterations=1, rounds=1)
+    write_result(
+        "table5_dbp",
+        "Table 5 (dbp; * = LSH-accelerated LMI)\n"
+        + "\n".join(r.formatted() for r in rows),
+    )

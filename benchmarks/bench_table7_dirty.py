@@ -1,0 +1,67 @@
+"""Table 7 (a-c): dirty ER on census, cora and cddb.
+
+BLAST (adapted to dirty ER, Section 4.5) against wnp1/wnp2/cnp1/cnp2 — all
+techniques applied in combination with LMI, as in the paper.
+"""
+
+from harness import (
+    BenchRow,
+    blast_row,
+    blocks_L,
+    dirty_dataset,
+    lmi_overhead,
+    traditional_mb_row,
+    write_result,
+)
+
+from repro.graph.pruning import CardinalityNodePruning, WeightNodePruning
+
+
+def _table_for(name: str) -> list[str]:
+    dataset = dirty_dataset(name)
+    L = blocks_L(name, dirty=True)
+    lmi_cost = lmi_overhead(name, dirty=True)
+
+    rows: list[BenchRow] = [blast_row("Blast", dataset)]
+    rows.append(traditional_mb_row(
+        "wnp1 L", L, dataset, lambda: WeightNodePruning(False),
+        extra_overhead=lmi_cost))
+    rows.append(traditional_mb_row(
+        "wnp2 L", L, dataset, lambda: WeightNodePruning(True),
+        extra_overhead=lmi_cost))
+    rows.append(traditional_mb_row(
+        "cnp1 L", L, dataset, lambda: CardinalityNodePruning(False),
+        extra_overhead=lmi_cost))
+    rows.append(traditional_mb_row(
+        "cnp2 L", L, dataset, lambda: CardinalityNodePruning(True),
+        extra_overhead=lmi_cost))
+
+    from repro.core import Blast
+
+    part = Blast().extract_loose_schema(dataset)
+    clusters = part.num_clusters - (1 if part.has_glue else 0)
+    attributes = len(dataset.collection1.attribute_names)
+    header = (
+        f"Table 7 ({name}): {dataset.num_profiles} profiles, "
+        f"{dataset.num_duplicates:,} matches, {attributes} attributes, "
+        f"{clusters} clusters with LMI"
+    )
+    return [header] + [r.formatted() for r in rows]
+
+
+def test_table7a_census(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("census"),
+                              iterations=1, rounds=1)
+    write_result("table7a_census", "\n".join(rows))
+
+
+def test_table7b_cora(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("cora"),
+                              iterations=1, rounds=1)
+    write_result("table7b_cora", "\n".join(rows))
+
+
+def test_table7c_cddb(benchmark):
+    rows = benchmark.pedantic(lambda: _table_for("cddb"),
+                              iterations=1, rounds=1)
+    write_result("table7c_cddb", "\n".join(rows))

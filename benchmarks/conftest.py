@@ -1,0 +1,7 @@
+"""Benchmark suite configuration.
+
+Every bench writes its table to ``benchmarks/results/<id>.txt`` and prints
+it (visible with ``pytest benchmarks/ --benchmark-only -s``).  Heavy
+artifacts (datasets, partitionings, prepared block collections) are cached
+in session-scoped fixtures shared across benches.
+"""

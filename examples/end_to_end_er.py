@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The Section 4.2.2 cost argument: blocking time buys matching time.
+
+Executes the *downstream* entity matching (Jaccard over profile strings,
+exactly as in the paper's footnote 11) on three candidate sets of the same
+ar2-like dataset — raw Token Blocking, filtered blocking, and BLAST — and
+reports wall-clock and quality for each.  The point: meta-blocking overhead
+is repaid many times over by the comparisons it removes.
+
+Run:  python examples/end_to_end_er.py
+"""
+
+import time
+
+from repro import Blast, evaluate_blocks, load_clean_clean
+from repro.blocking import TokenBlocking, block_filtering, block_purging
+from repro.matching import JaccardMatcher
+
+
+def main() -> None:
+    dataset = load_clean_clean("ar2")
+    print(f"dataset: {dataset} "
+          f"(brute force: {dataset.brute_force_comparisons():,} comparisons)\n")
+
+    candidates = {}
+    raw = TokenBlocking().build(dataset)
+    candidates["token blocking (raw)"] = raw
+    purged = block_purging(raw, dataset.num_profiles)
+    candidates["purged + filtered"] = block_filtering(purged)
+
+    t0 = time.perf_counter()
+    blast = Blast().run(dataset)
+    blast_overhead = time.perf_counter() - t0
+    candidates["BLAST"] = blast.blocks
+
+    matcher = JaccardMatcher(threshold=0.3)
+    print(f"{'candidate set':>22} {'pairs':>10} {'match-time':>10} "
+          f"{'recall':>8} {'precision':>9}")
+    for label, blocks in candidates.items():
+        result = matcher.execute(blocks, dataset)
+        quality = evaluate_blocks(blocks, dataset)
+        print(f"{label:>22} {result.comparisons_executed:>10,} "
+              f"{result.seconds:>9.2f}s {result.recall:>8.1%} "
+              f"{result.precision:>9.1%}   (blocking PC={quality.pair_completeness:.1%})")
+
+    print(f"\nBLAST overhead was {blast_overhead:.2f}s — compare the "
+          "match-time saved against the raw candidate set.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Redundancy-based blocking and block post-processing."""
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.canopy import CanopyBlocking
+from repro.blocking.filtering import block_filtering
+from repro.blocking.purging import block_purging
+from repro.blocking.qgrams import QGramsBlocking
+from repro.blocking.schema_aware import LooselySchemaAwareBlocking
+from repro.blocking.standard import StandardBlocking
+from repro.blocking.suffix_array import SuffixArrayBlocking
+from repro.blocking.token import TokenBlocking
+
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "TokenBlocking",
+    "StandardBlocking",
+    "QGramsBlocking",
+    "SuffixArrayBlocking",
+    "CanopyBlocking",
+    "LooselySchemaAwareBlocking",
+    "block_purging",
+    "block_filtering",
+]

@@ -1,0 +1,165 @@
+"""Blocks and block collections.
+
+A *block* groups profiles that share a blocking key; a *block collection*
+(the paper's ``B``) is the set of blocks a blocking technique emits.  Profiles
+are referenced by their global indices (see :class:`repro.data.ERDataset`).
+
+Clean-clean blocks keep the two sources separate (``left`` from E1, ``right``
+from E2) because only cross-source pairs are comparisons; dirty blocks have a
+single member set (``right is None``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """One block: a key and the member profiles it indexes.
+
+    Attributes
+    ----------
+    key:
+        The blocking key (token, q-gram, suffix, or ``token#cluster``).
+    left:
+        Global indices of the members from E1 (all members, for dirty ER).
+    right:
+        Global indices of the members from E2, or ``None`` for dirty ER.
+    """
+
+    key: str
+    left: frozenset[int]
+    right: frozenset[int] | None = None
+
+    @property
+    def is_clean_clean(self) -> bool:
+        return self.right is not None
+
+    @property
+    def profiles(self) -> frozenset[int]:
+        """All member profiles, regardless of source."""
+        if self.right is None:
+            return self.left
+        return self.left | self.right
+
+    @property
+    def size(self) -> int:
+        """Number of member profiles."""
+        return len(self.left) + (len(self.right) if self.right else 0)
+
+    @property
+    def num_comparisons(self) -> int:
+        """``||b||``: comparisons the block entails (Section 2)."""
+        if self.right is not None:
+            return len(self.left) * len(self.right)
+        n = len(self.left)
+        return n * (n - 1) // 2
+
+    def iter_pairs(self) -> Iterator[tuple[int, int]]:
+        """Yield the comparison pairs as canonical ``(i, j)`` with ``i < j``.
+
+        For clean-clean blocks global indexing already guarantees every E1
+        index is smaller than every E2 index.
+        """
+        if self.right is not None:
+            for i in self.left:
+                for j in self.right:
+                    yield (i, j)
+        else:
+            for i, j in itertools.combinations(sorted(self.left), 2):
+                yield (i, j)
+
+
+class BlockCollection(Sequence[Block]):
+    """An ordered collection of blocks emitted by one blocking technique."""
+
+    def __init__(self, blocks: Iterable[Block], is_clean_clean: bool) -> None:
+        self.is_clean_clean = is_clean_clean
+        self._blocks: list[Block] = []
+        for block in blocks:
+            if block.is_clean_clean != is_clean_clean:
+                raise ValueError(
+                    f"block {block.key!r} kind does not match the collection"
+                )
+            self._blocks.append(block)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._blocks[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCollection(blocks={len(self)}, "
+            f"comparisons={self.aggregate_cardinality})"
+        )
+
+    @cached_property
+    def aggregate_cardinality(self) -> int:
+        """``||B||``: total comparisons across all blocks (with redundancy)."""
+        return sum(block.num_comparisons for block in self._blocks)
+
+    @cached_property
+    def profile_block_sets(self) -> dict[int, frozenset[int]]:
+        """``B_i`` for every profile: the set of block positions containing it."""
+        mutable: dict[int, set[int]] = {}
+        for position, block in enumerate(self._blocks):
+            for profile in block.profiles:
+                mutable.setdefault(profile, set()).add(position)
+        return {profile: frozenset(s) for profile, s in mutable.items()}
+
+    @property
+    def num_indexed_profiles(self) -> int:
+        """How many distinct profiles appear in at least one block."""
+        return len(self.profile_block_sets)
+
+    def distinct_pairs(self) -> set[tuple[int, int]]:
+        """All distinct comparison pairs implied by the collection.
+
+        Materializes the pair set — only call on post-meta-blocking
+        collections or small inputs; redundancy-heavy collections can imply
+        orders of magnitude more pairs than profiles.
+        """
+        pairs: set[tuple[int, int]] = set()
+        for block in self._blocks:
+            pairs.update(block.iter_pairs())
+        return pairs
+
+    def filter_blocks(self, predicate: Callable[[Block], bool]) -> "BlockCollection":
+        """A new collection keeping only blocks satisfying *predicate*."""
+        return BlockCollection(
+            (block for block in self._blocks if predicate(block)),
+            self.is_clean_clean,
+        )
+
+
+def build_blocks(
+    keyed_members: dict[str, tuple[set[int], set[int]]] | dict[str, set[int]],
+    is_clean_clean: bool,
+) -> BlockCollection:
+    """Assemble a :class:`BlockCollection` from a key -> members mapping.
+
+    Blocks that imply no comparison (single-member dirty blocks, clean-clean
+    blocks missing one side) are dropped here, once, instead of in every
+    blocker.  Keys are emitted in sorted order for determinism.
+    """
+    blocks: list[Block] = []
+    for key in sorted(keyed_members):
+        members = keyed_members[key]
+        if is_clean_clean:
+            left, right = members  # type: ignore[misc]
+            if left and right:
+                blocks.append(Block(key, frozenset(left), frozenset(right)))
+        else:
+            group = members  # type: ignore[assignment]
+            if len(group) >= 2:
+                blocks.append(Block(key, frozenset(group)))
+    return BlockCollection(blocks, is_clean_clean)

@@ -1,0 +1,63 @@
+"""Block Filtering [Papadakis et al., EDBT 2016] — Section 4.1 of the paper.
+
+A light-weight, schema-free pre-meta-blocking step: each profile stays only
+in the most significant fraction of its blocks (the smallest ones, since
+small blocks carry more discriminating keys).  The paper filters out the 20%
+least significant blocks per profile (footnote 9).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.blocking.base import Block, BlockCollection
+
+
+def block_filtering(
+    collection: BlockCollection, ratio: float = 0.8
+) -> BlockCollection:
+    """Retain each profile in the ``ceil(ratio * |B_i|)`` smallest of its blocks.
+
+    Parameters
+    ----------
+    collection:
+        The block collection to restructure.
+    ratio:
+        Fraction of blocks each profile is kept in (0 < ratio <= 1).  The
+        paper's default keeps 80%.
+
+    Returns
+    -------
+    BlockCollection
+        A new collection in which every block retains only the memberships
+        that survived filtering; blocks left without any comparison are
+        dropped.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+
+    # Rank each profile's blocks by ascending size (ties broken by position
+    # for determinism) and mark the retained (profile, block) memberships.
+    sizes = [block.size for block in collection]
+    retained: dict[int, set[int]] = {}  # block position -> kept profiles
+    for profile, positions in collection.profile_block_sets.items():
+        ranked = sorted(positions, key=lambda pos: (sizes[pos], pos))
+        keep = math.ceil(ratio * len(ranked))
+        for pos in ranked[:keep]:
+            retained.setdefault(pos, set()).add(profile)
+
+    blocks: list[Block] = []
+    for position, block in enumerate(collection):
+        kept = retained.get(position)
+        if not kept:
+            continue
+        if collection.is_clean_clean:
+            left = frozenset(block.left & kept)
+            right = frozenset((block.right or frozenset()) & kept)
+            if left and right:
+                blocks.append(Block(block.key, left, right))
+        else:
+            members = frozenset(block.left & kept)
+            if len(members) >= 2:
+                blocks.append(Block(block.key, members))
+    return BlockCollection(blocks, collection.is_clean_clean)

@@ -1,0 +1,119 @@
+"""Loosely schema-aware Token Blocking (the paper's Phase 2, Figure 2).
+
+Identical to Token Blocking except that each blocking key is disambiguated by
+the attribute cluster it originates from: token ``abram`` occurring in a
+person-name attribute and in a street attribute yields the distinct keys
+``abram#1`` and ``abram#2``, splitting the block and removing superfluous
+cross-role comparisons before meta-blocking even starts.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import BlockCollection, build_blocks
+from repro.data.dataset import ERDataset
+from repro.schema.partition import AttributePartitioning
+
+#: Separator between token and cluster id in disambiguated keys.  Chosen
+#: outside the normalized-token alphabet so keys can be split back apart.
+KEY_SEPARATOR = "#"
+
+
+def split_key(key: str) -> tuple[str, int]:
+    """Inverse of the key construction: ``"abram#2" -> ("abram", 2)``."""
+    token, _, cluster = key.rpartition(KEY_SEPARATOR)
+    return token, int(cluster)
+
+
+def make_key_entropy(partitioning: AttributePartitioning):
+    """Blocking-key -> aggregate-entropy function for the blocking graph.
+
+    Maps each disambiguated key (``token#cluster``) to the aggregate entropy
+    of its attribute cluster, i.e. the ``h(b_i)`` of Section 3.1.3.  Pass the
+    result as ``key_entropy`` to :class:`repro.graph.BlockingGraph` or
+    :class:`repro.graph.MetaBlocker`.
+    """
+
+    def key_entropy(key: str) -> float:
+        _, cluster = split_key(key)
+        return partitioning.entropy_of(cluster)
+
+    return key_entropy
+
+
+class LooselySchemaAwareBlocking:
+    """Token Blocking with blocking keys disambiguated by attribute cluster.
+
+    Parameters
+    ----------
+    partitioning:
+        The attributes partitioning produced by LMI or Attribute Clustering.
+        Attributes it does not cover fall into the glue cluster if the
+        partitioning has one, otherwise their tokens are skipped (this is the
+        no-glue mode the Figure 10 experiment relies on).
+    min_token_length:
+        Tokens shorter than this are not used as blocking keys.
+    transformation:
+        ``"token"`` (the paper's default) or ``"qgram"`` — Section 3.2 notes
+        other key derivations, e.g. character q-grams, adapt to the same
+        disambiguation scheme.
+    q:
+        Gram length when ``transformation="qgram"``.
+    """
+
+    def __init__(
+        self,
+        partitioning: AttributePartitioning,
+        min_token_length: int = 2,
+        transformation: str = "token",
+        q: int = 3,
+    ) -> None:
+        if transformation not in ("token", "qgram"):
+            raise ValueError(
+                f"transformation must be 'token' or 'qgram', got {transformation!r}"
+            )
+        if q < 2:
+            raise ValueError(f"q must be at least 2, got {q}")
+        self.partitioning = partitioning
+        self.min_token_length = min_token_length
+        self.transformation = transformation
+        self.q = q
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        """Index *dataset* and return the disambiguated block collection."""
+        if dataset.is_clean_clean:
+            keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
+            for gidx, profile in dataset.iter_profiles():
+                side = dataset.source_of(gidx)
+                for key in self._keys_of(profile, side):
+                    entry = keyed_cc.get(key)
+                    if entry is None:
+                        entry = (set(), set())
+                        keyed_cc[key] = entry
+                    entry[side].add(gidx)
+            return build_blocks(keyed_cc, is_clean_clean=True)
+
+        keyed: dict[str, set[int]] = {}
+        for gidx, profile in dataset.iter_profiles():
+            for key in self._keys_of(profile, 0):
+                keyed.setdefault(key, set()).add(gidx)
+        return build_blocks(keyed, is_clean_clean=False)
+
+    def _keys_of(self, profile, source: int) -> set[str]:
+        keys: set[str] = set()
+        for attribute, tokens in profile.tokens_by_attribute().items():
+            cluster = self.partitioning.cluster_of(source, attribute)
+            if cluster is None:
+                continue  # no glue cluster: attribute's tokens are dropped
+            for token in tokens:
+                if len(token) < self.min_token_length:
+                    continue
+                for term in self._terms(token):
+                    keys.add(f"{term}{KEY_SEPARATOR}{cluster}")
+        return keys
+
+    def _terms(self, token: str) -> list[str]:
+        if self.transformation == "token":
+            return [token]
+        from repro.utils.tokenize import qgrams
+
+        return qgrams(token, self.q)

@@ -1,0 +1,91 @@
+"""Schema-based Standard Blocking [Christen, TKDE 2012].
+
+The classic comparator of Section 4.1 ("Blast vs. Schema-based Blocking"):
+blocking keys are derived from *aligned* attributes, so it needs a schema
+mapping between the two sources — exactly the manual effort BLAST's loose
+attribute-match induction replaces.
+
+Two key modes are provided:
+
+* ``"value"`` — the whole normalized attribute value is the key (classic
+  Standard Blocking);
+* ``"token"`` — each token of the value is a key, disambiguated by the
+  aligned attribute group.  Footnote 10 of the paper notes this variant is
+  Token Blocking exploiting the schema mapping, and it is the one that makes
+  Standard Blocking comparable with (and, on fully mappable data, identical
+  to) BLAST's loosely schema-aware blocking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.blocking.base import BlockCollection, build_blocks
+from repro.data.dataset import ERDataset
+from repro.data.profile import EntityProfile
+from repro.utils.tokenize import normalize, tokenize
+
+
+class StandardBlocking:
+    """Blocking on manually aligned attributes.
+
+    Parameters
+    ----------
+    alignment:
+        For clean-clean ER, a mapping ``attribute_in_E1 -> attribute_in_E2``.
+        For dirty ER, pass the attributes to block on as a mapping of each
+        attribute name to itself (or use :meth:`for_dirty`).
+    key_mode:
+        ``"value"`` or ``"token"`` (see module docstring).
+    """
+
+    def __init__(
+        self, alignment: Mapping[str, str], key_mode: str = "value"
+    ) -> None:
+        if key_mode not in ("value", "token"):
+            raise ValueError(f"unknown key_mode {key_mode!r}")
+        if not alignment:
+            raise ValueError("alignment must map at least one attribute")
+        self.alignment = dict(alignment)
+        self.key_mode = key_mode
+
+    @classmethod
+    def for_dirty(
+        cls, attributes: Sequence[str], key_mode: str = "value"
+    ) -> "StandardBlocking":
+        """Convenience constructor for single-source (dirty) blocking."""
+        return cls({name: name for name in attributes}, key_mode=key_mode)
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        """Index *dataset* on the aligned attributes."""
+        if dataset.is_clean_clean:
+            keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
+            for gidx, profile in dataset.iter_profiles():
+                side = dataset.source_of(gidx)
+                for key in self._keys_of(profile, side):
+                    entry = keyed_cc.get(key)
+                    if entry is None:
+                        entry = (set(), set())
+                        keyed_cc[key] = entry
+                    entry[side].add(gidx)
+            return build_blocks(keyed_cc, is_clean_clean=True)
+
+        keyed: dict[str, set[int]] = {}
+        for gidx, profile in dataset.iter_profiles():
+            for key in self._keys_of(profile, 0):
+                keyed.setdefault(key, set()).add(gidx)
+        return build_blocks(keyed, is_clean_clean=False)
+
+    def _keys_of(self, profile: EntityProfile, side: int) -> set[str]:
+        keys: set[str] = set()
+        for group, (attr1, attr2) in enumerate(sorted(self.alignment.items())):
+            attribute = attr1 if side == 0 else attr2
+            for value in profile.values(attribute):
+                if self.key_mode == "value":
+                    normalized = normalize(value)
+                    if normalized:
+                        keys.add(f"{normalized}@{group}")
+                else:
+                    for token in tokenize(value):
+                        keys.add(f"{token}@{group}")
+        return keys

@@ -1,0 +1,58 @@
+"""Token Blocking [Papadakis et al., TKDE 2013] — the paper's Section 3.2.
+
+The most general schema-agnostic technique: every token appearing anywhere in
+a profile's values is a blocking key, regardless of the attribute it appears
+in.  High recall, low precision — exactly the redundancy the meta-blocking
+phase is designed to exploit.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import BlockCollection, build_blocks
+from repro.data.dataset import ERDataset
+
+
+class TokenBlocking:
+    """Schema-agnostic token blocking.
+
+    Parameters
+    ----------
+    min_token_length:
+        Tokens shorter than this are not used as blocking keys.
+    """
+
+    def __init__(self, min_token_length: int = 2) -> None:
+        self.min_token_length = min_token_length
+
+    def build(self, dataset: ERDataset) -> BlockCollection:
+        """Index *dataset* and return the token block collection."""
+        if dataset.is_clean_clean:
+            return self._build_clean_clean(dataset)
+        return self._build_dirty(dataset)
+
+    def _tokens_of(self, dataset: ERDataset, global_index: int) -> set[str]:
+        profile = dataset.profile(global_index)
+        return {
+            token
+            for token in profile.tokens()
+            if len(token) >= self.min_token_length
+        }
+
+    def _build_clean_clean(self, dataset: ERDataset) -> BlockCollection:
+        keyed: dict[str, tuple[set[int], set[int]]] = {}
+        for gidx, _ in dataset.iter_profiles():
+            side = dataset.source_of(gidx)
+            for token in self._tokens_of(dataset, gidx):
+                entry = keyed.get(token)
+                if entry is None:
+                    entry = (set(), set())
+                    keyed[token] = entry
+                entry[side].add(gidx)
+        return build_blocks(keyed, is_clean_clean=True)
+
+    def _build_dirty(self, dataset: ERDataset) -> BlockCollection:
+        keyed: dict[str, set[int]] = {}
+        for gidx, _ in dataset.iter_profiles():
+            for token in self._tokens_of(dataset, gidx):
+                keyed.setdefault(token, set()).add(gidx)
+        return build_blocks(keyed, is_clean_clean=False)

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro run      --left a.jsonl --right b.jsonl --output pairs.csv
+    python -m repro evaluate --left a.jsonl --right b.jsonl \
+                             --ground-truth gt.csv
+    python -m repro generate --dataset ar1 --outdir data/
+
+``run`` executes the BLAST pipeline and writes the candidate pairs;
+``evaluate`` additionally scores them against a ground truth; ``generate``
+materializes one of the built-in benchmark datasets as JSONL + CSV so the
+other two commands (and external tools) can consume it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.core import Blast, BlastConfig
+from repro.data.dataset import ERDataset
+from repro.data.io import (
+    load_collection,
+    load_ground_truth,
+    save_collection,
+    save_ground_truth,
+)
+from repro.data.ground_truth import GroundTruth
+from repro.datasets import load_clean_clean, load_dirty
+from repro.datasets.benchmarks import CLEAN_CLEAN_DATASETS
+from repro.datasets.dirty import DIRTY_DATASETS
+from repro.metrics import evaluate_blocks
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BLAST: loosely schema-aware meta-blocking for entity resolution",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run BLAST and write candidate pairs")
+    _add_input_arguments(run)
+    _add_config_arguments(run)
+    run.add_argument("--output", type=Path, required=True,
+                     help="CSV file for the candidate pairs")
+
+    ev = sub.add_parser("evaluate", help="run BLAST and score against a ground truth")
+    _add_input_arguments(ev)
+    _add_config_arguments(ev)
+    ev.add_argument("--ground-truth", type=Path, required=True,
+                    help="two-column CSV of matching profile ids")
+    ev.add_argument("--output", type=Path, default=None,
+                    help="optionally also write the candidate pairs")
+
+    gen = sub.add_parser("generate", help="materialize a built-in benchmark dataset")
+    gen.add_argument("--dataset", required=True,
+                     choices=sorted(CLEAN_CLEAN_DATASETS) + sorted(DIRTY_DATASETS))
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--outdir", type=Path, required=True)
+    return parser
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--left", type=Path, required=True,
+                        help="JSONL entity collection (see repro.data.io)")
+    parser.add_argument("--right", type=Path, default=None,
+                        help="second collection for clean-clean ER; omit for dirty ER")
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--induction", choices=("lmi", "ac"), default="lmi")
+    parser.add_argument("--alpha", type=float, default=0.9)
+    parser.add_argument("--use-lsh", action="store_true")
+    parser.add_argument("--lsh-threshold", type=float, default=0.4)
+    parser.add_argument("--no-entropy", action="store_true",
+                        help="disable the aggregate-entropy weighting factor")
+    parser.add_argument("--pruning-c", type=float, default=2.0)
+    parser.add_argument("--pruning-d", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _config_from(args: argparse.Namespace) -> BlastConfig:
+    return BlastConfig(
+        induction=args.induction,
+        alpha=args.alpha,
+        use_lsh=args.use_lsh,
+        lsh_threshold=args.lsh_threshold,
+        use_entropy=not args.no_entropy,
+        pruning_c=args.pruning_c,
+        pruning_d=args.pruning_d,
+        seed=args.seed,
+    )
+
+
+def _dataset_from(args: argparse.Namespace,
+                  ground_truth: GroundTruth | None = None) -> ERDataset:
+    left = load_collection(args.left)
+    right = load_collection(args.right) if args.right else None
+    if ground_truth is None:
+        ground_truth = GroundTruth([], clean_clean=right is not None)
+    return ERDataset(left, right, ground_truth, name=args.left.stem)
+
+
+def _write_pairs(result, dataset: ERDataset, output: Path) -> int:
+    output.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with output.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id1", "id2"])
+        for block in result.blocks:
+            i, j = sorted(block.profiles)
+            writer.writerow(
+                [dataset.profile(i).profile_id, dataset.profile(j).profile_id]
+            )
+            count += 1
+    return count
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = _dataset_from(args)
+    result = Blast(_config_from(args)).run(dataset)
+    count = _write_pairs(result, dataset, args.output)
+    print(f"wrote {count} candidate pairs to {args.output} "
+          f"(overhead {result.overhead_seconds:.2f}s, "
+          f"{dataset.brute_force_comparisons():,} brute-force comparisons avoided)")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    truth = load_ground_truth(args.ground_truth,
+                              clean_clean=args.right is not None)
+    dataset = _dataset_from(args, truth)
+    result = Blast(_config_from(args)).run(dataset)
+    quality = evaluate_blocks(result.blocks, dataset)
+    print(f"PC={quality.pair_completeness:.4f} PQ={quality.pair_quality:.6f} "
+          f"F1={quality.f1:.4f} comparisons={quality.comparisons} "
+          f"overhead={result.overhead_seconds:.2f}s")
+    if args.output is not None:
+        _write_pairs(result, dataset, args.output)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset in CLEAN_CLEAN_DATASETS:
+        dataset = load_clean_clean(args.dataset, scale=args.scale, seed=args.seed)
+    else:
+        dataset = load_dirty(args.dataset, scale=args.scale, seed=args.seed)
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    save_collection(dataset.collection1, args.outdir / "left.jsonl")
+    files = ["left.jsonl", "ground_truth.csv"]
+    if dataset.collection2 is not None:
+        save_collection(dataset.collection2, args.outdir / "right.jsonl")
+        files.insert(1, "right.jsonl")
+    save_ground_truth(dataset.ground_truth, args.outdir / "ground_truth.csv")
+    print(f"wrote {', '.join(files)} to {args.outdir} "
+          f"({dataset.num_profiles} profiles, {dataset.num_duplicates} matches)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    commands = {"run": _cmd_run, "evaluate": _cmd_evaluate,
+                "generate": _cmd_generate}
+    try:
+        return commands[args.command](args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The BLAST pipeline: the paper's primary contribution, end to end."""
+
+from repro.core.config import BlastConfig
+from repro.core.pipeline import Blast, BlastResult, prepare_blocks
+
+__all__ = ["Blast", "BlastConfig", "BlastResult", "prepare_blocks"]

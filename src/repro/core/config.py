@@ -1,0 +1,104 @@
+"""Configuration of the BLAST pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.weights import WeightingScheme
+
+
+@dataclass(frozen=True)
+class BlastConfig:
+    """All tunables of the three-phase pipeline, with the paper's defaults.
+
+    Phase 1 — loose schema information extraction
+    ----------------------------------------------
+    induction:
+        ``"lmi"`` (the paper's Algorithm 1) or ``"ac"`` (the Attribute
+        Clustering baseline of [18]).
+    representation:
+        Attribute representation model: ``"binary"`` (token presence +
+        Jaccard, the paper's choice) or ``"tfidf"`` (TF-IDF + cosine, the
+        alternative Section 2.1 describes).  TF-IDF is incompatible with
+        the LSH step (MinHash estimates Jaccard only).
+    alpha:
+        LMI's "nearly similar" candidate factor.
+    glue_cluster:
+        Gather unclustered attributes in the glue cluster; disabling it
+        drops their blocking keys (Figure 10's configuration).
+    use_lsh:
+        Enable the MinHash/banding pre-processing step.
+    lsh_threshold:
+        Target Jaccard threshold of the banding (its S-curve inflection).
+    lsh_num_hashes:
+        MinHash signature length.
+
+    Phase 2 — loosely schema-aware blocking
+    ----------------------------------------
+    min_token_length:
+        Shortest token used as a blocking key.
+    purging_ratio:
+        Block Purging drops blocks covering more than this fraction of all
+        profiles.
+    filtering_ratio:
+        Block Filtering keeps each profile in this fraction of its smallest
+        blocks.
+
+    Phase 3 — loosely schema-aware meta-blocking
+    ---------------------------------------------
+    weighting:
+        Edge weighting scheme (chi-squared x entropy by default).
+    use_entropy:
+        Feed cluster entropies into the blocking graph; switching this off
+        is the ``chi`` ablation of Figure 8.
+    entropy_boost:
+        For traditional weighting schemes only: multiply by h(B_uv) (the
+        ``wsh`` ablation of Figure 8).
+    pruning_c / pruning_d:
+        The constants of BLAST's pruning rule ``theta_i = M_i / c``,
+        ``theta_ij = (theta_i + theta_j) / d``.
+    seed:
+        Seed for the LSH hash functions.
+    """
+
+    # Phase 1
+    induction: str = "lmi"
+    representation: str = "binary"
+    alpha: float = 0.9
+    glue_cluster: bool = True
+    use_lsh: bool = False
+    lsh_threshold: float = 0.4
+    lsh_num_hashes: int = 150
+    # Phase 2
+    min_token_length: int = 2
+    purging_ratio: float = 0.5
+    filtering_ratio: float = 0.8
+    # Phase 3
+    weighting: WeightingScheme = WeightingScheme.CHI_H
+    use_entropy: bool = True
+    entropy_boost: bool = False
+    pruning_c: float = 2.0
+    pruning_d: float = 2.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.induction not in ("lmi", "ac"):
+            raise ValueError(f"induction must be 'lmi' or 'ac', got {self.induction!r}")
+        if self.representation not in ("binary", "tfidf"):
+            raise ValueError(
+                f"representation must be 'binary' or 'tfidf', "
+                f"got {self.representation!r}"
+            )
+        if self.representation == "tfidf" and self.use_lsh:
+            raise ValueError(
+                "the LSH step estimates Jaccard similarity and cannot be "
+                "combined with the TF-IDF representation"
+            )
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 < self.lsh_threshold < 1.0:
+            raise ValueError(
+                f"lsh_threshold must be in (0, 1), got {self.lsh_threshold}"
+            )
+        if self.pruning_c <= 0 or self.pruning_d <= 0:
+            raise ValueError("pruning_c and pruning_d must be positive")

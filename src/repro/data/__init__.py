@@ -1,0 +1,8 @@
+"""Entity data model: profiles, collections, ground truth, ER datasets."""
+
+from repro.data.collection import EntityCollection
+from repro.data.dataset import ERDataset
+from repro.data.ground_truth import GroundTruth
+from repro.data.profile import EntityProfile
+
+__all__ = ["EntityProfile", "EntityCollection", "GroundTruth", "ERDataset"]

@@ -1,0 +1,78 @@
+"""Entity collections: ordered, id-indexed sets of entity profiles."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.data.profile import EntityProfile
+
+
+class EntityCollection(Sequence[EntityProfile]):
+    """A named, duplicate-id-free sequence of :class:`EntityProfile`.
+
+    Profiles keep their insertion order; the position of a profile in the
+    collection is its *local index*, which the blocking layer combines with a
+    source offset into global indices.
+
+    Raises
+    ------
+    ValueError
+        If two profiles share the same ``profile_id``.
+    """
+
+    def __init__(self, profiles: Iterable[EntityProfile], name: str = "") -> None:
+        self.name = name
+        self._profiles: list[EntityProfile] = list(profiles)
+        self._by_id: dict[str, int] = {}
+        for index, profile in enumerate(self._profiles):
+            if profile.profile_id in self._by_id:
+                raise ValueError(
+                    f"duplicate profile_id {profile.profile_id!r} in "
+                    f"collection {name!r}"
+                )
+            self._by_id[profile.profile_id] = index
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[EntityProfile]:
+        return iter(self._profiles)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._profiles[index]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, EntityProfile):
+            return item.profile_id in self._by_id
+        return item in self._by_id
+
+    def __repr__(self) -> str:
+        return f"EntityCollection(name={self.name!r}, size={len(self)})"
+
+    def index_of(self, profile_id: str) -> int:
+        """Local index of the profile with *profile_id*."""
+        return self._by_id[profile_id]
+
+    def get(self, profile_id: str) -> EntityProfile:
+        """The profile with *profile_id* (KeyError if absent)."""
+        return self._profiles[self._by_id[profile_id]]
+
+    @property
+    def attribute_names(self) -> set[str]:
+        """The attribute name space ``A_E`` of this collection."""
+        names: set[str] = set()
+        for profile in self._profiles:
+            names.update(profile.attribute_names)
+        return names
+
+    @property
+    def num_name_value_pairs(self) -> int:
+        """Total name-value pairs (the ``nvp`` column of Table 2)."""
+        return sum(len(profile) for profile in self._profiles)
+
+    def values_of(self, attribute: str) -> list[str]:
+        """Every value the attribute assumes across the collection (V_a)."""
+        out: list[str] = []
+        for profile in self._profiles:
+            out.extend(profile.values(attribute))
+        return out

@@ -1,0 +1,133 @@
+"""ER datasets: collections + ground truth + global profile indexing.
+
+Everything downstream of the data layer (blocking, graphs, metrics) works on
+*global indices*.  For clean-clean ER the profiles of ``E1`` occupy indices
+``0 .. |E1|-1`` and those of ``E2`` occupy ``|E1| .. |E1|+|E2|-1``; for dirty
+ER there is a single collection starting at 0.  :class:`ERDataset` owns this
+mapping so the rest of the library never juggles (source, id) tuples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from functools import cached_property
+
+from repro.data.collection import EntityCollection
+from repro.data.ground_truth import GroundTruth
+from repro.data.profile import EntityProfile
+
+
+class ERDataset:
+    """A clean-clean or dirty entity-resolution task.
+
+    Parameters
+    ----------
+    collection1:
+        The first (or only) entity collection.
+    collection2:
+        The second collection for clean-clean ER; ``None`` for dirty ER.
+    ground_truth:
+        Known matches.  Its ``clean_clean`` flag must agree with the number
+        of collections supplied.
+    name:
+        Dataset label used in benchmark output (e.g. ``"ar1"``).
+    """
+
+    def __init__(
+        self,
+        collection1: EntityCollection,
+        collection2: EntityCollection | None,
+        ground_truth: GroundTruth,
+        name: str = "",
+    ) -> None:
+        if ground_truth.clean_clean != (collection2 is not None):
+            raise ValueError(
+                "ground truth kind does not match the number of collections"
+            )
+        self.name = name
+        self.collection1 = collection1
+        self.collection2 = collection2
+        self.ground_truth = ground_truth
+
+    @property
+    def is_clean_clean(self) -> bool:
+        return self.collection2 is not None
+
+    @property
+    def num_profiles(self) -> int:
+        """Total number of profiles across both sources."""
+        n = len(self.collection1)
+        if self.collection2 is not None:
+            n += len(self.collection2)
+        return n
+
+    @property
+    def offset2(self) -> int:
+        """Global index of the first profile of ``E2`` (clean-clean only)."""
+        return len(self.collection1)
+
+    def profile(self, global_index: int) -> EntityProfile:
+        """The profile at *global_index*."""
+        n1 = len(self.collection1)
+        if global_index < n1:
+            return self.collection1[global_index]
+        if self.collection2 is None:
+            raise IndexError(global_index)
+        return self.collection2[global_index - n1]
+
+    def source_of(self, global_index: int) -> int:
+        """0 if the profile belongs to ``E1``, 1 if to ``E2``."""
+        if global_index < len(self.collection1):
+            return 0
+        if self.collection2 is None:
+            raise IndexError(global_index)
+        return 1
+
+    def iter_profiles(self) -> Iterator[tuple[int, EntityProfile]]:
+        """Yield ``(global_index, profile)`` over all profiles."""
+        for i, profile in enumerate(self.collection1):
+            yield i, profile
+        if self.collection2 is not None:
+            n1 = len(self.collection1)
+            for j, profile in enumerate(self.collection2):
+                yield n1 + j, profile
+
+    @cached_property
+    def truth_pairs(self) -> frozenset[tuple[int, int]]:
+        """Ground-truth matches as canonical global-index pairs ``i < j``.
+
+        Pairs whose ids do not resolve against the collections are rejected —
+        a silent drop here would inflate every PC number downstream.
+        """
+        pairs: set[tuple[int, int]] = set()
+        if self.collection2 is not None:
+            n1 = len(self.collection1)
+            for id1, id2 in self.ground_truth:
+                i = self.collection1.index_of(id1)
+                j = n1 + self.collection2.index_of(id2)
+                pairs.add((i, j))
+        else:
+            for id1, id2 in self.ground_truth:
+                i = self.collection1.index_of(id1)
+                j = self.collection1.index_of(id2)
+                pairs.add((i, j) if i < j else (j, i))
+        return frozenset(pairs)
+
+    @property
+    def num_duplicates(self) -> int:
+        """|D_E|: the number of ground-truth matches."""
+        return len(self.truth_pairs)
+
+    def brute_force_comparisons(self) -> int:
+        """Comparisons a blocking-free ER would execute (Section 2)."""
+        if self.collection2 is not None:
+            return len(self.collection1) * len(self.collection2)
+        n = len(self.collection1)
+        return n * (n - 1) // 2
+
+    def __repr__(self) -> str:
+        kind = "clean-clean" if self.is_clean_clean else "dirty"
+        return (
+            f"ERDataset(name={self.name!r}, kind={kind}, "
+            f"profiles={self.num_profiles}, duplicates={self.num_duplicates})"
+        )

@@ -1,0 +1,47 @@
+"""Ground truth: the known set of matching profile pairs."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class GroundTruth:
+    """A set of matching profile-id pairs.
+
+    For clean-clean ER a pair is ``(id_in_E1, id_in_E2)`` and order is
+    significant (the two sides live in different namespaces).  For dirty ER
+    both ids come from the same collection and pairs are stored unordered
+    (canonicalized so ``(a, b) == (b, a)``).
+    """
+
+    def __init__(
+        self, pairs: Iterable[tuple[str, str]], clean_clean: bool = True
+    ) -> None:
+        self.clean_clean = clean_clean
+        if clean_clean:
+            self._pairs = {(str(a), str(b)) for a, b in pairs}
+        else:
+            self._pairs = set()
+            for a, b in pairs:
+                a, b = str(a), str(b)
+                if a == b:
+                    raise ValueError(f"self-match {a!r} in dirty ground truth")
+                self._pairs.add((a, b) if a < b else (b, a))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            return False
+        a, b = str(pair[0]), str(pair[1])
+        if self.clean_clean:
+            return (a, b) in self._pairs
+        return ((a, b) if a < b else (b, a)) in self._pairs
+
+    def __repr__(self) -> str:
+        kind = "clean-clean" if self.clean_clean else "dirty"
+        return f"GroundTruth({kind}, matches={len(self)})"

@@ -1,0 +1,103 @@
+"""Serialization: JSON-lines profiles and CSV ground truth.
+
+The on-disk format mirrors the ER-framework benchmark archives the paper
+uses: one record per line with free-form attributes, plus a two-column match
+file.  Round-tripping through these functions is lossless for everything the
+library consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.data.collection import EntityCollection
+from repro.data.ground_truth import GroundTruth
+from repro.data.profile import EntityProfile
+
+
+def save_collection(collection: EntityCollection, path: str | Path) -> None:
+    """Write *collection* as JSON lines: ``{"id": ..., "attributes": [[n, v]...]}``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for profile in collection:
+            record = {
+                "id": profile.profile_id,
+                "attributes": [list(pair) for pair in profile.attributes],
+            }
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+
+
+def load_collection(path: str | Path, name: str = "") -> EntityCollection:
+    """Read a JSON-lines file written by :func:`save_collection`."""
+    path = Path(path)
+    profiles: list[EntityProfile] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                profiles.append(
+                    EntityProfile(
+                        str(record["id"]),
+                        tuple((str(n), str(v)) for n, v in record["attributes"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed record") from exc
+    return EntityCollection(profiles, name=name or path.stem)
+
+
+def save_ground_truth(truth: GroundTruth, path: str | Path) -> None:
+    """Write *truth* as a two-column CSV with an ``id1,id2`` header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id1", "id2"])
+        for id1, id2 in sorted(truth):
+            writer.writerow([id1, id2])
+
+
+def load_ground_truth(path: str | Path, clean_clean: bool = True) -> GroundTruth:
+    """Read a CSV written by :func:`save_ground_truth`."""
+    path = Path(path)
+    pairs: list[tuple[str, str]] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty ground-truth file")
+        for row in reader:
+            if len(row) != 2:
+                raise ValueError(f"{path}: expected 2 columns, got {row!r}")
+            pairs.append((row[0], row[1]))
+    return GroundTruth(pairs, clean_clean=clean_clean)
+
+
+def load_csv_collection(
+    path: str | Path,
+    id_column: str = "id",
+    name: str = "",
+) -> EntityCollection:
+    """Read a header-ful CSV where each non-id column is an attribute.
+
+    Empty cells become missing attributes, matching how the benchmark
+    datasets encode incomplete records.
+    """
+    path = Path(path)
+    profiles: list[EntityProfile] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or id_column not in reader.fieldnames:
+            raise ValueError(f"{path}: missing id column {id_column!r}")
+        for row in reader:
+            attributes = tuple(
+                (column, value)
+                for column, value in row.items()
+                if column != id_column and value and value.strip()
+            )
+            profiles.append(EntityProfile(str(row[id_column]), attributes))
+    return EntityCollection(profiles, name=name or path.stem)

@@ -1,0 +1,94 @@
+"""Entity profiles.
+
+The paper (Section 2) models an *entity profile* as a tuple of a unique
+identifier and a set of name-value pairs ``<a, v>``.  Attribute names may
+repeat (semi-structured Web data frequently has multi-valued attributes), so
+the pairs are stored as an ordered tuple rather than a mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.utils.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class EntityProfile:
+    """An immutable entity profile: identifier plus name-value pairs.
+
+    Parameters
+    ----------
+    profile_id:
+        Identifier unique *within its entity collection*.
+    attributes:
+        Ordered ``(name, value)`` pairs.  Empty values are permitted on input
+        but dropped, mirroring how the benchmark datasets treat missing data.
+    """
+
+    profile_id: str
+    attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(
+            (str(name), str(value))
+            for name, value in self.attributes
+            if str(value).strip()
+        )
+        object.__setattr__(self, "attributes", cleaned)
+
+    @classmethod
+    def from_dict(
+        cls, profile_id: str, mapping: dict[str, str | Iterable[str]]
+    ) -> "EntityProfile":
+        """Build a profile from ``{name: value}`` or ``{name: [values...]}``.
+
+        >>> p = EntityProfile.from_dict("p1", {"name": "John Abram Jr"})
+        >>> p.values("name")
+        ['John Abram Jr']
+        """
+        pairs: list[tuple[str, str]] = []
+        for name, value in mapping.items():
+            if isinstance(value, str):
+                pairs.append((name, value))
+            else:
+                pairs.extend((name, v) for v in value)
+        return cls(profile_id, tuple(pairs))
+
+    @property
+    def attribute_names(self) -> set[str]:
+        """Distinct attribute names used by this profile."""
+        return {name for name, _ in self.attributes}
+
+    def values(self, name: str) -> list[str]:
+        """All values recorded under attribute *name* (possibly empty)."""
+        return [value for attr, value in self.attributes if attr == name]
+
+    def iter_pairs(self) -> Iterator[tuple[str, str]]:
+        """Iterate over ``(name, value)`` pairs in insertion order."""
+        return iter(self.attributes)
+
+    def tokens(self) -> set[str]:
+        """Every distinct token appearing anywhere in the profile's values.
+
+        This is the token universe Token Blocking indexes the profile under.
+        """
+        out: set[str] = set()
+        for _, value in self.attributes:
+            out.update(tokenize(value))
+        return out
+
+    def tokens_by_attribute(self) -> dict[str, set[str]]:
+        """Distinct tokens grouped by the attribute they appear in."""
+        out: dict[str, set[str]] = {}
+        for name, value in self.attributes:
+            out.setdefault(name, set()).update(tokenize(value))
+        return out
+
+    def text(self) -> str:
+        """All values concatenated — the schema-blind view of the profile."""
+        return " ".join(value for _, value in self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)

@@ -1,0 +1,32 @@
+"""Synthetic benchmark datasets reproducing the structure of the paper's
+real-world benchmarks (see DESIGN.md section 2 for the substitution notes)."""
+
+from repro.datasets.benchmarks import (
+    CLEAN_CLEAN_DATASETS,
+    dataset_characteristics,
+    load_clean_clean,
+)
+from repro.datasets.dirty import DIRTY_DATASETS, load_dirty
+from repro.datasets.generator import (
+    FieldSpec,
+    NoiseModel,
+    SourceSchema,
+    make_clean_clean_dataset,
+    make_dirty_dataset,
+)
+from repro.datasets.vocabulary import Vocabulary, make_vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "make_vocabulary",
+    "FieldSpec",
+    "NoiseModel",
+    "SourceSchema",
+    "make_clean_clean_dataset",
+    "make_dirty_dataset",
+    "load_clean_clean",
+    "load_dirty",
+    "CLEAN_CLEAN_DATASETS",
+    "DIRTY_DATASETS",
+    "dataset_characteristics",
+]

@@ -1,0 +1,260 @@
+"""Synthetic ER dataset machinery.
+
+A dataset is generated in two steps, mirroring how real-world benchmark
+pairs came to exist:
+
+1. a pool of *true entities* is sampled — each a mapping from canonical
+   field names (``title``, ``year``, ``street`` ...) to clean values;
+2. each *source* renders its own view of the entities it covers through a
+   :class:`SourceSchema` — renaming attributes, merging fields, dropping
+   fields the source does not track — and a :class:`NoiseModel` that
+   injects typos, abbreviations, dropped tokens, two-digit years and
+   missing values.
+
+Clean-clean pairs share a configurable overlap of true entities (the ground
+truth); dirty datasets render each entity several times into one collection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.collection import EntityCollection
+from repro.data.dataset import ERDataset
+from repro.data.ground_truth import GroundTruth
+from repro.data.profile import EntityProfile
+from repro.datasets.vocabulary import Vocabulary, make_vocabulary
+from repro.utils.rng import make_rng
+
+FieldSampler = Callable[[np.random.Generator, Vocabulary], str]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One canonical field of the true entities.
+
+    Parameters
+    ----------
+    name:
+        Canonical field name (source schemas refer to it).
+    sampler:
+        Draws a clean value for a new entity.
+    present_prob:
+        Probability that an entity has this field at all — sparse fields
+        are how the dbp-like datasets get their very wide, sparsely filled
+        schemas.
+    """
+
+    name: str
+    sampler: FieldSampler
+    present_prob: float = 1.0
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-source value corruption.
+
+    Each probability applies independently per rendered value.
+    """
+
+    typo_prob: float = 0.05
+    token_drop_prob: float = 0.05
+    abbreviate_prob: float = 0.05
+    missing_prob: float = 0.02
+    numeric_truncate_prob: float = 0.0
+
+    def corrupt(self, rng: np.random.Generator, value: str) -> str | None:
+        """A noisy copy of *value*, or ``None`` when the value goes missing."""
+        if rng.random() < self.missing_prob:
+            return None
+        if (
+            self.numeric_truncate_prob
+            and len(value) == 4
+            and value.isdigit()
+            and rng.random() < self.numeric_truncate_prob
+        ):
+            value = value[2:]  # "1985" -> "85"
+        if rng.random() < self.token_drop_prob:
+            tokens = value.split()
+            if len(tokens) > 1:
+                tokens.pop(int(rng.integers(0, len(tokens))))
+                value = " ".join(tokens)
+        if rng.random() < self.abbreviate_prob:
+            tokens = value.split()
+            idx = int(rng.integers(0, len(tokens)))
+            if len(tokens[idx]) > 3 and not tokens[idx].isdigit():
+                tokens[idx] = tokens[idx][:1] + "."
+                value = " ".join(tokens)
+        if rng.random() < self.typo_prob:
+            value = _typo(rng, value)
+        return value if value.strip() else None
+
+
+CLEAN = NoiseModel(typo_prob=0.02, token_drop_prob=0.02, abbreviate_prob=0.02,
+                   missing_prob=0.01)
+NOISY = NoiseModel(typo_prob=0.08, token_drop_prob=0.10, abbreviate_prob=0.10,
+                   missing_prob=0.05, numeric_truncate_prob=0.3)
+
+
+def _typo(rng: np.random.Generator, value: str) -> str:
+    """One character-level edit: delete, duplicate, or swap adjacent."""
+    if len(value) < 3:
+        return value
+    pos = int(rng.integers(1, len(value) - 1))
+    kind = rng.integers(0, 3)
+    if kind == 0:  # delete
+        return value[:pos] + value[pos + 1 :]
+    if kind == 1:  # duplicate
+        return value[:pos] + value[pos] + value[pos:]
+    return value[: pos - 1] + value[pos] + value[pos - 1] + value[pos + 1 :]
+
+
+@dataclass(frozen=True)
+class SourceSchema:
+    """How one source renders canonical entities.
+
+    Parameters
+    ----------
+    name:
+        Source label (becomes the collection name).
+    attributes:
+        Mapping from the source's attribute name to the tuple of canonical
+        fields whose values are concatenated into it.  Renaming is the
+        common case (one field per attribute); merging several fields into
+        one attribute (``"full name" <- (first, last)``) is how partially
+        mappable schemas arise.
+    noise:
+        The source's noise model.
+    """
+
+    name: str
+    attributes: Mapping[str, tuple[str, ...]]
+    noise: NoiseModel = field(default_factory=NoiseModel)
+
+    def render(
+        self,
+        profile_id: str,
+        entity: Mapping[str, str],
+        rng: np.random.Generator,
+    ) -> EntityProfile:
+        """Render *entity* as this source sees it."""
+        pairs: list[tuple[str, str]] = []
+        for attribute in sorted(self.attributes):
+            fields = self.attributes[attribute]
+            values = [entity[f] for f in fields if f in entity]
+            if not values:
+                continue
+            noisy = self.noise.corrupt(rng, " ".join(values))
+            if noisy is not None:
+                pairs.append((attribute, noisy))
+        return EntityProfile(profile_id, tuple(pairs))
+
+
+def sample_entities(
+    fields: Sequence[FieldSpec],
+    count: int,
+    rng: np.random.Generator,
+    vocabulary: Vocabulary,
+) -> list[dict[str, str]]:
+    """Draw *count* true entities over *fields*."""
+    entities: list[dict[str, str]] = []
+    for _ in range(count):
+        entity: dict[str, str] = {}
+        for spec in fields:
+            if spec.present_prob < 1.0 and rng.random() >= spec.present_prob:
+                continue
+            value = spec.sampler(rng, vocabulary)
+            if value:
+                entity[spec.name] = value
+        entities.append(entity)
+    return entities
+
+
+def make_clean_clean_dataset(
+    name: str,
+    fields: Sequence[FieldSpec],
+    schema1: SourceSchema,
+    schema2: SourceSchema,
+    size1: int,
+    size2: int,
+    matches: int,
+    seed: int,
+    vocabulary: Vocabulary | None = None,
+) -> ERDataset:
+    """Two sources over a shared entity pool with *matches* common entities.
+
+    Source 1 covers entities ``[0, size1)``; source 2 covers
+    ``[size1 - matches, size1 - matches + size2)``, so exactly *matches*
+    entities appear in both (each at most once per source: clean-clean).
+    """
+    if matches > min(size1, size2):
+        raise ValueError("matches cannot exceed either source size")
+    vocabulary = vocabulary or make_vocabulary()
+    rng = make_rng(seed)
+    total = size1 + size2 - matches
+    entities = sample_entities(fields, total, rng, vocabulary)
+
+    profiles1 = [
+        schema1.render(f"A{i}", entities[i], rng) for i in range(size1)
+    ]
+    offset = size1 - matches
+    profiles2 = [
+        schema2.render(f"B{j}", entities[offset + j], rng) for j in range(size2)
+    ]
+    truth = GroundTruth(
+        ((f"A{offset + k}", f"B{k}") for k in range(matches)), clean_clean=True
+    )
+    return ERDataset(
+        EntityCollection(profiles1, schema1.name),
+        EntityCollection(profiles2, schema2.name),
+        truth,
+        name=name,
+    )
+
+
+def make_dirty_dataset(
+    name: str,
+    fields: Sequence[FieldSpec],
+    schema: SourceSchema,
+    cluster_sizes: Sequence[int],
+    seed: int,
+    vocabulary: Vocabulary | None = None,
+) -> ERDataset:
+    """One collection where entity ``e`` appears ``cluster_sizes[e]`` times.
+
+    Every within-cluster pair is a ground-truth match, so a cluster of size
+    ``s`` contributes ``s * (s - 1) / 2`` duplicates — the structure of the
+    cora benchmark, where one paper is cited dozens of times.
+    """
+    if any(size < 1 for size in cluster_sizes):
+        raise ValueError("cluster sizes must be >= 1")
+    vocabulary = vocabulary or make_vocabulary()
+    rng = make_rng(seed)
+    entities = sample_entities(fields, len(cluster_sizes), rng, vocabulary)
+
+    profiles: list[EntityProfile] = []
+    pairs: list[tuple[str, str]] = []
+    serial = 0
+    for entity, size in zip(entities, cluster_sizes):
+        ids = []
+        for _ in range(size):
+            pid = f"d{serial}"
+            serial += 1
+            profiles.append(schema.render(pid, entity, rng))
+            ids.append(pid)
+        for a in range(len(ids)):
+            for b in range(a + 1, len(ids)):
+                pairs.append((ids[a], ids[b]))
+
+    # Shuffle so duplicates are not adjacent (position must carry no signal).
+    order = rng.permutation(len(profiles))
+    profiles = [profiles[i] for i in order]
+    return ERDataset(
+        EntityCollection(profiles, schema.name),
+        None,
+        GroundTruth(pairs, clean_clean=False),
+        name=name,
+    )

@@ -1,0 +1,121 @@
+"""Deterministic synthetic vocabulary.
+
+The generators need realistic-looking word pools (names, venues, product
+brands, movie-title words, ...) without shipping megabytes of literal word
+lists.  Words are synthesized from syllables with a dedicated seeded RNG, so
+the pools are stable across runs and machines.
+
+Two properties matter for faithfulness to the paper's motivation:
+
+* **cross-attribute ambiguity** — street names are derived from surnames
+  (every dataset has its "Abram street"), and title/description pools leak
+  person and brand names, so schema-agnostic Token Blocking creates exactly
+  the ambiguous blocks BLAST's attribute disambiguation splits;
+* **entropy spread** — some pools are tiny (genres, occupations: low
+  entropy) and some huge (surnames, title words: high entropy), giving the
+  aggregate-entropy weighting something real to exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+_ONSETS = (
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fr", "g", "gr", "h", "j",
+    "k", "kr", "l", "m", "n", "p", "pr", "r", "s", "sh", "sl", "st", "t",
+    "th", "tr", "v", "w", "z",
+)
+_NUCLEI = ("a", "e", "i", "o", "u", "ai", "ea", "ie", "io", "ou")
+_CODAS = ("", "", "", "l", "m", "n", "r", "s", "t", "nd", "rd", "st", "ck")
+
+
+def _word(rng: np.random.Generator, min_syllables: int = 2, max_syllables: int = 3) -> str:
+    syllables = rng.integers(min_syllables, max_syllables + 1)
+    parts = []
+    for _ in range(syllables):
+        parts.append(
+            _ONSETS[rng.integers(0, len(_ONSETS))]
+            + _NUCLEI[rng.integers(0, len(_NUCLEI))]
+            + _CODAS[rng.integers(0, len(_CODAS))]
+        )
+    return "".join(parts)
+
+
+def _pool(rng: np.random.Generator, size: int, **kwargs) -> tuple[str, ...]:
+    """A pool of *size* distinct words."""
+    words: set[str] = set()
+    while len(words) < size:
+        words.add(_word(rng, **kwargs))
+    return tuple(sorted(words))
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """Stable word pools for the synthetic benchmark generators."""
+
+    first_names: tuple[str, ...]
+    last_names: tuple[str, ...]
+    street_names: tuple[str, ...]  # surname-derived: the "Abram street" effect
+    cities: tuple[str, ...]
+    occupations: tuple[str, ...]
+    venues: tuple[str, ...]
+    title_words: tuple[str, ...]
+    brands: tuple[str, ...]
+    product_types: tuple[str, ...]
+    adjectives: tuple[str, ...]
+    genres: tuple[str, ...]
+    countries: tuple[str, ...]
+    labels: tuple[str, ...]
+
+    def pick(self, rng: np.random.Generator, pool: tuple[str, ...]) -> str:
+        """One uniform draw from *pool*."""
+        return pool[rng.integers(0, len(pool))]
+
+
+_CACHE: dict[int, Vocabulary] = {}
+
+
+def make_vocabulary(seed: int = 7) -> Vocabulary:
+    """Build (and cache) the vocabulary for *seed*.
+
+    The same seed always yields the same pools; benchmark configs all use
+    the default so every dataset shares one "world" of names — that sharing
+    is what creates cross-dataset token collisions (a surname appearing as a
+    street, a brand appearing inside a title).
+    """
+    cached = _CACHE.get(seed)
+    if cached is not None:
+        return cached
+    rng = make_rng(seed)
+    first_names = _pool(rng, 400)
+    last_names = _pool(rng, 900)
+    # Streets reuse surnames: "<surname> street" vs the person called
+    # <surname> — the exact ambiguity of the paper's Figure 1.
+    street_suffixes = ("street", "st", "ave", "road", "lane")
+    streets = tuple(
+        f"{last_names[int(rng.integers(0, len(last_names)))]} "
+        f"{street_suffixes[int(rng.integers(0, len(street_suffixes)))]}"
+        for _ in range(300)
+    )
+    title_words = _pool(rng, 2500, min_syllables=1, max_syllables=3)
+    vocabulary = Vocabulary(
+        first_names=first_names,
+        last_names=last_names,
+        street_names=streets,
+        cities=_pool(rng, 80),
+        occupations=_pool(rng, 25),
+        venues=_pool(rng, 60),
+        title_words=title_words,
+        brands=_pool(rng, 120),
+        product_types=_pool(rng, 40),
+        adjectives=_pool(rng, 60),
+        genres=_pool(rng, 15),
+        countries=_pool(rng, 30),
+        labels=_pool(rng, 50),
+    )
+    _CACHE[seed] = vocabulary
+    return vocabulary

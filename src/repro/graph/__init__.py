@@ -1,0 +1,29 @@
+"""Graph-based meta-blocking: blocking graph, weighting, pruning."""
+
+from repro.graph.blocking_graph import BlockingGraph, EdgeStats
+from repro.graph.contingency import ContingencyTable, chi_squared
+from repro.graph.metablocking import MetaBlocker, blocks_from_edges
+from repro.graph.pruning import (
+    BlastPruning,
+    CardinalityEdgePruning,
+    CardinalityNodePruning,
+    WeightEdgePruning,
+    WeightNodePruning,
+)
+from repro.graph.weights import WeightingScheme, compute_weights
+
+__all__ = [
+    "BlockingGraph",
+    "EdgeStats",
+    "ContingencyTable",
+    "chi_squared",
+    "WeightingScheme",
+    "compute_weights",
+    "WeightEdgePruning",
+    "CardinalityEdgePruning",
+    "WeightNodePruning",
+    "CardinalityNodePruning",
+    "BlastPruning",
+    "MetaBlocker",
+    "blocks_from_edges",
+]

@@ -1,0 +1,98 @@
+"""Contingency tables and Pearson's chi-squared test (Section 3.3.1, Table 1).
+
+For an edge ``(p_u, p_v)`` the 2x2 contingency table over the block
+collection is::
+
+                 p_v present   p_v absent   total
+    p_u present      n11           n12       n1.
+    p_u absent       n21           n22       n2.
+    total            n.1           n.2       n..
+
+with ``n11 = |B_uv|``, ``n1. = |B_u|``, ``n.1 = |B_v|`` and ``n.. = |B|``.
+The chi-squared statistic measures how far the observed co-occurrence
+deviates from independence — BLAST uses it as an association score, not as
+a hypothesis test.
+
+Note: the paper's typeset formula omits the square over ``(n_ij - mu_ij)``;
+Pearson's statistic (the paper cites Agresti's *Categorical Data Analysis*)
+squares the residual, and we implement the standard squared form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ContingencyTable:
+    """Observed 2x2 joint frequency of two profiles over a block collection."""
+
+    n11: int  # blocks containing both u and v
+    n12: int  # blocks containing u but not v
+    n21: int  # blocks containing v but not u
+    n22: int  # blocks containing neither
+
+    @classmethod
+    def from_counts(
+        cls, shared: int, blocks_u: int, blocks_v: int, total_blocks: int
+    ) -> "ContingencyTable":
+        """Build the table from ``|B_uv|``, ``|B_u|``, ``|B_v|`` and ``|B|``.
+
+        >>> ContingencyTable.from_counts(4, 6, 7, 12)  # Table 1's example
+        ContingencyTable(n11=4, n12=2, n21=3, n22=3)
+        """
+        if shared > min(blocks_u, blocks_v):
+            raise ValueError("shared blocks exceed an endpoint's block count")
+        if total_blocks < blocks_u + blocks_v - shared:
+            raise ValueError("total blocks smaller than the union of B_u and B_v")
+        return cls(
+            n11=shared,
+            n12=blocks_u - shared,
+            n21=blocks_v - shared,
+            n22=total_blocks - blocks_u - blocks_v + shared,
+        )
+
+    @property
+    def total(self) -> int:
+        """n..: the number of blocks."""
+        return self.n11 + self.n12 + self.n21 + self.n22
+
+    @property
+    def row_totals(self) -> tuple[int, int]:
+        return (self.n11 + self.n12, self.n21 + self.n22)
+
+    @property
+    def col_totals(self) -> tuple[int, int]:
+        return (self.n11 + self.n21, self.n12 + self.n22)
+
+    def expected(self) -> tuple[float, float, float, float]:
+        """Expected counts ``mu_ij = n_i. * n_.j / n..`` under independence."""
+        total = self.total
+        if total == 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        r1, r2 = self.row_totals
+        c1, c2 = self.col_totals
+        return (r1 * c1 / total, r1 * c2 / total, r2 * c1 / total, r2 * c2 / total)
+
+    def chi_squared(self) -> float:
+        """Pearson's statistic ``sum (n_ij - mu_ij)^2 / mu_ij``.
+
+        Cells with zero expectation contribute nothing (their observed count
+        is necessarily zero as well when margins are consistent).
+        """
+        observed = (self.n11, self.n12, self.n21, self.n22)
+        statistic = 0.0
+        for obs, exp in zip(observed, self.expected()):
+            if exp > 0.0:
+                diff = obs - exp
+                statistic += diff * diff / exp
+        return statistic
+
+
+def chi_squared(
+    shared: int, blocks_u: int, blocks_v: int, total_blocks: int
+) -> float:
+    """Chi-squared association of two profiles from their block counts."""
+    return ContingencyTable.from_counts(
+        shared, blocks_u, blocks_v, total_blocks
+    ).chi_squared()

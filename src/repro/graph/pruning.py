@@ -1,0 +1,218 @@
+"""Edge-pruning schemes (Section 2.2 and Section 3.3.2).
+
+The four traditional schemes of [Papadakis et al., EDBT 2016] — WEP, CEP and
+the redefined/reciprocal variants of WNP and CNP — plus BLAST's pruning
+rule, which replaces the average-based local threshold (sensitive to how
+many low-weight edges happen to be adjacent, see the p5/p6 example of
+Figure 6) with a fraction of the local *maximum*:
+
+    theta_i = M_i / c          (M_i = max weight incident to node i)
+    keep e_ij  iff  w_ij >= (theta_i + theta_j) / d
+
+with c = d = 2 by default.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.graph.blocking_graph import BlockingGraph, Edge
+
+
+def _clears(weight: float, threshold: float) -> bool:
+    """``weight >= threshold`` with a relative tolerance.
+
+    Mean thresholds are computed by floating-point summation; without a
+    tolerance, a graph whose edges all carry the same weight can end up
+    retaining nothing because ``sum/n`` lands one ulp above the weight.
+    """
+    return weight >= threshold - 1e-9 * abs(threshold)
+
+
+class PruningScheme(ABC):
+    """Interface: reduce a weighted blocking graph to the retained edges."""
+
+    @abstractmethod
+    def prune(self, graph: BlockingGraph, weights: dict[Edge, float]) -> set[Edge]:
+        """Return the set of retained edges."""
+
+    @staticmethod
+    def _node_thresholds_mean(
+        graph: BlockingGraph, weights: dict[Edge, float]
+    ) -> dict[int, float]:
+        """theta_i = mean weight of node i's incident edges (WNP of [20])."""
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for edge, weight in weights.items():
+            for node in edge:
+                sums[node] = sums.get(node, 0.0) + weight
+                counts[node] = counts.get(node, 0) + 1
+        return {node: sums[node] / counts[node] for node in sums}
+
+
+class WeightEdgePruning(PruningScheme):
+    """WEP: one global threshold over all edges.
+
+    Parameters
+    ----------
+    threshold:
+        The global Theta; defaults to the mean edge weight, the standard
+        configuration of [20].
+    """
+
+    def __init__(self, threshold: float | None = None) -> None:
+        self.threshold = threshold
+
+    def prune(self, graph: BlockingGraph, weights: dict[Edge, float]) -> set[Edge]:
+        if not weights:
+            return set()
+        theta = (
+            self.threshold
+            if self.threshold is not None
+            else sum(weights.values()) / len(weights)
+        )
+        return {edge for edge, weight in weights.items() if _clears(weight, theta)}
+
+
+class CardinalityEdgePruning(PruningScheme):
+    """CEP: keep the global top-K edges by weight.
+
+    Parameters
+    ----------
+    k:
+        Number of retained edges; defaults to half the total block
+        assignments ``sum_i |B_i| / 2``, the convention of [20].
+    """
+
+    def __init__(self, k: int | None = None) -> None:
+        if k is not None and k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+
+    def prune(self, graph: BlockingGraph, weights: dict[Edge, float]) -> set[Edge]:
+        if not weights:
+            return set()
+        k = self.k
+        if k is None:
+            k = max(1, sum(graph.node_blocks.values()) // 2)
+        # Deterministic order: weight descending, then edge ascending.
+        ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
+        return {edge for edge, _ in ranked[:k]}
+
+
+class WeightNodePruning(PruningScheme):
+    """WNP: node-centric mean-weight thresholds (wnp1/wnp2 of the paper).
+
+    Parameters
+    ----------
+    reciprocal:
+        ``False`` — redefined WNP (wnp1): keep the edge if it clears the
+        threshold of *at least one* endpoint.  ``True`` — reciprocal WNP
+        (wnp2): it must clear *both*.
+    """
+
+    def __init__(self, reciprocal: bool = False) -> None:
+        self.reciprocal = reciprocal
+
+    def prune(self, graph: BlockingGraph, weights: dict[Edge, float]) -> set[Edge]:
+        thresholds = self._node_thresholds_mean(graph, weights)
+        retained: set[Edge] = set()
+        for edge, weight in weights.items():
+            i, j = edge
+            above_i = _clears(weight, thresholds[i])
+            above_j = _clears(weight, thresholds[j])
+            keep = (above_i and above_j) if self.reciprocal else (above_i or above_j)
+            if keep:
+                retained.add(edge)
+        return retained
+
+
+class CardinalityNodePruning(PruningScheme):
+    """CNP: node-centric top-k (cnp1/cnp2 of the paper).
+
+    Parameters
+    ----------
+    reciprocal:
+        ``False`` — redefined CNP (cnp1): keep the edge if it is in the
+        top-k of at least one endpoint; ``True`` — reciprocal CNP (cnp2):
+        of both.
+    k:
+        Edges retained per node; defaults to the average number of blocks
+        per profile, ``ceil(sum_i |B_i| / |V|)``, the convention of [20].
+    """
+
+    def __init__(self, reciprocal: bool = False, k: int | None = None) -> None:
+        if k is not None and k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.reciprocal = reciprocal
+        self.k = k
+
+    def prune(self, graph: BlockingGraph, weights: dict[Edge, float]) -> set[Edge]:
+        if not weights:
+            return set()
+        k = self.k
+        if k is None:
+            total_assignments = sum(graph.node_blocks.values())
+            k = max(1, math.ceil(total_assignments / max(1, graph.num_nodes)))
+
+        top_edges: dict[int, set[Edge]] = {}
+        for node, incident in graph.adjacency().items():
+            ranked = sorted(incident, key=lambda e: (-weights[e], e))
+            top_edges[node] = set(ranked[:k])
+
+        retained: set[Edge] = set()
+        for edge in weights:
+            i, j = edge
+            in_i = edge in top_edges.get(i, ())
+            in_j = edge in top_edges.get(j, ())
+            keep = (in_i and in_j) if self.reciprocal else (in_i or in_j)
+            if keep:
+                retained.add(edge)
+        return retained
+
+
+class BlastPruning(PruningScheme):
+    """BLAST's WNP (Section 3.3.2): max-based local thresholds.
+
+    ``theta_i = M_i / c`` where ``M_i`` is the maximum weight incident to
+    node i; an edge survives iff its weight reaches the combined threshold
+    ``(theta_i + theta_j) / d``.  Unlike mean-based thresholds, ``theta_i``
+    does not move when low-weight edges are added around node i.
+
+    Parameters
+    ----------
+    c:
+        Local threshold divisor; larger c retains more edges (higher PC,
+        lower PQ).  The paper found c = 2 effective on real data.
+    d:
+        Combiner divisor; d = 2 makes the edge threshold the mean of the two
+        endpoint thresholds.
+    """
+
+    def __init__(self, c: float = 2.0, d: float = 2.0) -> None:
+        if c <= 0 or d <= 0:
+            raise ValueError("c and d must be positive")
+        self.c = c
+        self.d = d
+
+    def prune(self, graph: BlockingGraph, weights: dict[Edge, float]) -> set[Edge]:
+        maxima: dict[int, float] = {}
+        for edge, weight in weights.items():
+            for node in edge:
+                if weight > maxima.get(node, 0.0):
+                    maxima[node] = weight
+        retained: set[Edge] = set()
+        for edge, weight in weights.items():
+            if weight <= 0.0:
+                # Zero weight means "no positive evidence of a match" (the
+                # chi-squared scheme zeroes negatively associated pairs);
+                # such an edge never survives, even when its endpoints have
+                # no better alternative.
+                continue
+            i, j = edge
+            theta_i = maxima[i] / self.c
+            theta_j = maxima[j] / self.c
+            if _clears(weight, (theta_i + theta_j) / self.d):
+                retained.add(edge)
+        return retained

@@ -1,0 +1,15 @@
+"""Locality-Sensitive Hashing pre-processing for attribute-match induction."""
+
+from repro.lsh.banding import LSHBanding, choose_bands, lsh_candidate_pairs
+from repro.lsh.minhash import MinHasher
+from repro.lsh.scurve import candidate_probability, estimated_threshold, scurve_points
+
+__all__ = [
+    "MinHasher",
+    "LSHBanding",
+    "choose_bands",
+    "lsh_candidate_pairs",
+    "candidate_probability",
+    "estimated_threshold",
+    "scurve_points",
+]

@@ -1,0 +1,140 @@
+"""Banded LSH indexing of MinHash signatures (Section 3.1.2).
+
+Signatures are split into ``b`` bands of ``r`` rows; two attributes become a
+*candidate pair* when at least one band of their signatures is identical.
+Only candidate pairs are handed to attribute-match induction, replacing the
+quadratic all-pairs similarity pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.lsh.minhash import MinHasher
+from repro.lsh.scurve import estimated_threshold
+from repro.schema.attribute_profile import AttributeProfile
+from repro.schema.partition import AttributeRef
+
+
+class LSHBanding:
+    """Bucket signatures by band and emit colliding pairs.
+
+    Parameters
+    ----------
+    bands:
+        Number of bands ``b``.
+    rows:
+        Rows per band ``r``.  Signatures must have exactly ``b * r`` values.
+    """
+
+    def __init__(self, bands: int, rows: int) -> None:
+        if bands < 1 or rows < 1:
+            raise ValueError("bands and rows must be positive")
+        self.bands = bands
+        self.rows = rows
+
+    @property
+    def num_hashes(self) -> int:
+        """Required signature length ``b * r``."""
+        return self.bands * self.rows
+
+    @property
+    def threshold(self) -> float:
+        """The estimated Jaccard threshold of this configuration."""
+        return estimated_threshold(self.rows, self.bands)
+
+    def candidate_pairs(
+        self,
+        signatures: np.ndarray,
+        sources: Sequence[int] | None = None,
+    ) -> set[tuple[int, int]]:
+        """Indices of signature rows colliding in at least one band.
+
+        Parameters
+        ----------
+        signatures:
+            ``(num_attributes, bands * rows)`` signature matrix.
+        sources:
+            Optional per-row source labels; when given, only cross-source
+            pairs are emitted (the clean-clean case — same-source attribute
+            pairs are never matched by LMI).
+        """
+        n, width = signatures.shape
+        if width != self.num_hashes:
+            raise ValueError(
+                f"signature length {width} != bands*rows {self.num_hashes}"
+            )
+        pairs: set[tuple[int, int]] = set()
+        for band in range(self.bands):
+            chunk = signatures[:, band * self.rows : (band + 1) * self.rows]
+            buckets: dict[bytes, list[int]] = {}
+            for row in range(n):
+                buckets.setdefault(chunk[row].tobytes(), []).append(row)
+            for members in buckets.values():
+                if len(members) < 2:
+                    continue
+                for i in range(len(members)):
+                    for j in range(i + 1, len(members)):
+                        a, b = members[i], members[j]
+                        if sources is not None and sources[a] == sources[b]:
+                            continue
+                        pairs.add((a, b) if a < b else (b, a))
+        return pairs
+
+
+def choose_bands(num_hashes: int, threshold: float) -> LSHBanding:
+    """The banding of *num_hashes* rows whose S-curve threshold is closest
+    to *threshold*.
+
+    Scans every factorization ``num_hashes = b * r`` and picks the one
+    minimizing ``|(1/b)^(1/r) - threshold|``.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    best: LSHBanding | None = None
+    best_gap = float("inf")
+    for rows in range(1, num_hashes + 1):
+        if num_hashes % rows:
+            continue
+        bands = num_hashes // rows
+        gap = abs(estimated_threshold(rows, bands) - threshold)
+        if gap < best_gap:
+            best_gap = gap
+            best = LSHBanding(bands, rows)
+    assert best is not None  # rows=1 always divides num_hashes
+    return best
+
+
+def lsh_candidate_pairs(
+    profiles1: Sequence[AttributeProfile],
+    profiles2: Sequence[AttributeProfile] | None = None,
+    threshold: float = 0.5,
+    num_hashes: int = 150,
+    seed: int | None = None,
+    banding: LSHBanding | None = None,
+) -> set[tuple[AttributeRef, AttributeRef]]:
+    """End-to-end LSH step: profiles -> candidate attribute-ref pairs.
+
+    This is the optional pre-processing step of Section 3.1.2, usable in
+    front of both LMI and Attribute Clustering.  For clean-clean inputs only
+    cross-source pairs are returned.
+
+    Parameters
+    ----------
+    threshold:
+        Target Jaccard threshold; ignored when *banding* is given.
+    banding:
+        Explicit banding configuration (e.g. ``LSHBanding(30, 5)``).
+    """
+    all_profiles = list(profiles1) + (list(profiles2) if profiles2 else [])
+    if banding is None:
+        banding = choose_bands(num_hashes, threshold)
+    hasher = MinHasher(num_hashes=banding.num_hashes, seed=seed)
+    signatures = hasher.signatures([p.tokens for p in all_profiles])
+    sources = [p.source for p in all_profiles] if profiles2 is not None else None
+    index_pairs = banding.candidate_pairs(signatures, sources)
+    return {
+        (all_profiles[i].ref, all_profiles[j].ref) for i, j in index_pairs
+    }

@@ -1,0 +1,99 @@
+"""MinHash signatures (Section 3.1.2).
+
+Each attribute profile (a token set, i.e. a binary column of the
+attribute-token matrix) is compressed to a signature of ``n`` minhash
+values.  The probability that two columns agree on one minhash equals their
+Jaccard similarity [Broder 1997], so signatures preserve exactly the
+similarity LMI measures.
+
+Hashing uses the classic universal family ``h(x) = (a*x + b) mod p`` over a
+Mersenne prime, vectorized with numpy across hash functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+_UINT64_MAX = np.uint64(np.iinfo(np.uint64).max)
+
+
+def _token_id(token: str) -> int:
+    """A stable 32-bit integer id for *token*, independent of call order
+    and of ``PYTHONHASHSEED`` (blake2b content hash).
+
+    The residual id-collision probability is negligible for LSH candidate
+    generation.
+    """
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+class MinHasher:
+    """Deterministic MinHash signature generator.
+
+    Parameters
+    ----------
+    num_hashes:
+        Signature length ``n``; must be compatible with the banding scheme
+        (``n = bands * rows``).
+    seed:
+        Seed for the hash-function coefficients.
+    """
+
+    def __init__(self, num_hashes: int = 150, seed: int | None = None) -> None:
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_hashes = num_hashes
+        rng = make_rng(seed)
+        # Multiply-add over Z_2^64 with random ODD multipliers: the uint64
+        # wrap-around is the mixing step (multiply-shift hashing), giving
+        # near-uniform rank order over the 32-bit token-id space.
+        self._a = rng.integers(0, 1 << 63, size=num_hashes, dtype=np.uint64)
+        self._a = self._a * np.uint64(2) + np.uint64(1)
+        self._b = rng.integers(0, 1 << 63, size=num_hashes, dtype=np.uint64)
+
+    def signatures(self, token_sets: Sequence[Iterable[str]]) -> np.ndarray:
+        """Signature matrix of shape ``(len(token_sets), num_hashes)``.
+
+        Token identity is by content (blake2b of the string), so the same
+        token hashes identically across sets, across calls, and across
+        processes — signature agreement estimates Jaccard similarity, and
+        signatures of the same set are reproducible regardless of which
+        other sets share the call.
+
+        Empty token sets receive unique sentinel signatures so they can
+        never become candidates of anything (an empty attribute has Jaccard
+        0 with every other attribute).
+        """
+        cache: dict[str, int] = {}
+        encoded: list[np.ndarray] = []
+        for tokens in token_sets:
+            ids = [
+                cache[token] if token in cache else cache.setdefault(token, _token_id(token))
+                for token in tokens
+            ]
+            encoded.append(np.asarray(sorted(ids), dtype=np.uint64))
+
+        out = np.empty((len(encoded), self.num_hashes), dtype=np.uint64)
+        for row, ids in enumerate(encoded):
+            if ids.size == 0:
+                # Unique per-row sentinels: empty sets never collide with
+                # anything (including each other).
+                out[row] = _UINT64_MAX - np.uint64(row)
+                continue
+            # (n_hashes, n_tokens) hashes with implicit mod 2^64; min over
+            # tokens is the minhash.
+            hashed = self._a[:, None] * ids[None, :] + self._b[:, None]
+            out[row] = hashed.min(axis=1)
+        return out
+
+    def estimate_jaccard(self, sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Fraction of agreeing minhashes — an unbiased Jaccard estimate."""
+        if sig_a.shape != sig_b.shape:
+            raise ValueError("signature shapes differ")
+        return float(np.mean(sig_a == sig_b))

@@ -1,0 +1,42 @@
+"""The LSH S-curve (Section 3.1.2, Figure 5).
+
+With ``b`` bands of ``r`` rows, two attributes of Jaccard similarity ``s``
+become candidates with probability ``1 - (1 - s^r)^b``.  The curve's
+inflection marks the effective similarity threshold, approximated by
+``(1/b)^(1/r)`` — e.g. roughly 0.5 for r=5, b=30.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def candidate_probability(s: float | np.ndarray, rows: int, bands: int):
+    """P[candidate] = 1 - (1 - s^r)^b for similarity *s*."""
+    if rows < 1 or bands < 1:
+        raise ValueError("rows and bands must be positive")
+    s = np.clip(np.asarray(s, dtype=float), 0.0, 1.0)
+    result = 1.0 - (1.0 - s**rows) ** bands
+    return float(result) if result.ndim == 0 else result
+
+
+def estimated_threshold(rows: int, bands: int) -> float:
+    """The similarity threshold approximation ``(1/b)^(1/r)``.
+
+    >>> round(estimated_threshold(5, 30), 2)
+    0.51
+    """
+    if rows < 1 or bands < 1:
+        raise ValueError("rows and bands must be positive")
+    return (1.0 / bands) ** (1.0 / rows)
+
+
+def scurve_points(
+    rows: int, bands: int, num: int = 101
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(similarities, probabilities)`` arrays tracing the S-curve.
+
+    This is exactly the data behind Figure 5 of the paper.
+    """
+    s = np.linspace(0.0, 1.0, num)
+    return s, candidate_probability(s, rows, bands)

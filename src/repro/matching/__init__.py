@@ -1,0 +1,6 @@
+"""Entity matching substrate: the downstream ER algorithm (Section 2)."""
+
+from repro.matching.matcher import JaccardMatcher, MatchResult
+from repro.matching.resolution import resolve_entities
+
+__all__ = ["JaccardMatcher", "MatchResult", "resolve_entities"]

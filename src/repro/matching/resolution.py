@@ -1,0 +1,31 @@
+"""Entity resolution: grouping matched pairs into entities."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.utils.unionfind import UnionFind
+
+
+def resolve_entities(
+    matches: Iterable[tuple[int, int]], all_profiles: Iterable[int] = ()
+) -> list[set[int]]:
+    """Connected components of the match graph = resolved entities.
+
+    Parameters
+    ----------
+    matches:
+        Matched profile pairs (global indices).
+    all_profiles:
+        Optionally, the full universe of profile indices, so unmatched
+        profiles appear as singleton entities.
+
+    Returns
+    -------
+    list of sets
+        Each set is one resolved real-world entity.
+    """
+    links = UnionFind(all_profiles)
+    for i, j in matches:
+        links.union(i, j)
+    return links.components()

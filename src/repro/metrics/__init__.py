@@ -1,0 +1,20 @@
+"""Block-collection quality metrics and descriptive statistics."""
+
+from repro.metrics.block_stats import BlockCollectionStats, block_collection_stats
+from repro.metrics.quality import (
+    BlockingQuality,
+    delta_pc,
+    delta_pq,
+    evaluate_blocks,
+    f1_score,
+)
+
+__all__ = [
+    "BlockingQuality",
+    "evaluate_blocks",
+    "f1_score",
+    "delta_pc",
+    "delta_pq",
+    "BlockCollectionStats",
+    "block_collection_stats",
+]

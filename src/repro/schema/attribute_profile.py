@@ -1,0 +1,55 @@
+"""Attribute profiles: the representation model of Section 2.1.
+
+Each attribute ``a`` is represented by the set of terms its values produce
+under the value transformation function tau (tokenization, for LMI) with
+binary term presence — i.e. simply the *set* of tokens.  This is the vector
+``T_a`` of the paper restricted to its non-zero coordinates, which is the
+natural sparse encoding for Jaccard/Dice/cosine-over-binary similarity and
+for MinHashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.collection import EntityCollection
+from repro.schema.partition import AttributeRef
+from repro.utils.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeProfile:
+    """The token-set profile of one attribute of one source."""
+
+    source: int
+    name: str
+    tokens: frozenset[str]
+
+    @property
+    def ref(self) -> AttributeRef:
+        """The ``(source, name)`` reference used by partitionings."""
+        return (self.source, self.name)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+def build_attribute_profiles(
+    collection: EntityCollection,
+    source: int,
+    min_token_length: int = 2,
+) -> list[AttributeProfile]:
+    """Profile every attribute of *collection*.
+
+    Attributes whose values produce no tokens at all (e.g. only punctuation)
+    are still emitted, with an empty token set: they must reach the glue
+    cluster rather than silently vanish from the partitioning.
+    """
+    token_sets: dict[str, set[str]] = {name: set() for name in collection.attribute_names}
+    for profile in collection:
+        for name, value in profile.iter_pairs():
+            token_sets[name].update(tokenize(value, min_token_length))
+    return [
+        AttributeProfile(source, name, frozenset(tokens))
+        for name, tokens in sorted(token_sets.items())
+    ]

@@ -1,0 +1,36 @@
+"""Set similarity measures for attribute profiles (Section 2.1).
+
+All three measures operate on binary-presence profiles, i.e. plain token
+sets.  LMI uses Jaccard (required for compatibility with MinHash-based LSH);
+Dice and cosine are provided for the pluggable similarity slot of the
+attribute-match induction framework.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Set
+
+
+def jaccard(a: Set[str], b: Set[str]) -> float:
+    """|a intersect b| / |a union b|; 0.0 when both sets are empty."""
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def dice(a: Set[str], b: Set[str]) -> float:
+    """2 |a intersect b| / (|a| + |b|); 0.0 when both sets are empty."""
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def cosine(a: Set[str], b: Set[str]) -> float:
+    """|a intersect b| / sqrt(|a| |b|) — cosine over binary vectors."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / math.sqrt(len(a) * len(b))

@@ -1,0 +1,13 @@
+"""Supervised meta-blocking [Papadakis et al., PVLDB 2014] — the paper's
+supervised comparator ("sup. MB" rows of Tables 4 and 5)."""
+
+from repro.supervised.features import EDGE_FEATURE_NAMES, edge_features
+from repro.supervised.metablocking import SupervisedMetaBlocking
+from repro.supervised.svm import LinearSVM
+
+__all__ = [
+    "edge_features",
+    "EDGE_FEATURE_NAMES",
+    "LinearSVM",
+    "SupervisedMetaBlocking",
+]

@@ -1,0 +1,86 @@
+"""Supervised meta-blocking: classify edges, keep the predicted matches.
+
+Protocol of [Papadakis et al., PVLDB 2014] as used in the paper's
+experiments: 10% of the ground-truth matches label the positive training
+edges; an equal number of non-matching edges are sampled as negatives; a
+linear SVM is trained over the five schema-agnostic edge features; the
+retained edges are those classified positive — a WEP-style global decision
+(the paper notes WNP is incompatible with the supervised setting because
+the classifier's threshold is global).
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import BlockCollection
+from repro.data.dataset import ERDataset
+from repro.graph.blocking_graph import BlockingGraph, Edge
+from repro.graph.metablocking import blocks_from_edges
+from repro.supervised.features import edge_features
+from repro.supervised.svm import LinearSVM
+from repro.utils.rng import make_rng
+
+import numpy as np
+
+
+class SupervisedMetaBlocking:
+    """The "sup. MB" comparator of Tables 4, 5.
+
+    Parameters
+    ----------
+    training_fraction:
+        Fraction of ground-truth matches used as positive examples (the
+        paper uses 10%).
+    negative_ratio:
+        Negatives sampled per positive (1.0 = balanced, the usual setting).
+    seed:
+        Seed controlling the training sample and the SVM shuffling.
+    """
+
+    def __init__(
+        self,
+        training_fraction: float = 0.1,
+        negative_ratio: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 < training_fraction <= 1.0:
+            raise ValueError("training_fraction must be in (0, 1]")
+        if negative_ratio <= 0:
+            raise ValueError("negative_ratio must be positive")
+        self.training_fraction = training_fraction
+        self.negative_ratio = negative_ratio
+        self.seed = seed
+
+    def run(self, collection: BlockCollection, dataset: ERDataset) -> BlockCollection:
+        """Restructure *collection* with the trained edge classifier."""
+        graph = BlockingGraph(collection)
+        edges = [edge for edge, _ in graph.edges()]
+        if not edges:
+            return blocks_from_edges([], collection.is_clean_clean)
+        features = edge_features(graph, edges)
+
+        rng = make_rng(self.seed)
+        truth = dataset.truth_pairs
+        positive_rows = [row for row, edge in enumerate(edges) if edge in truth]
+        negative_rows = [row for row, edge in enumerate(edges) if edge not in truth]
+        if not positive_rows or not negative_rows:
+            # Degenerate graph (no matches survived blocking, or no
+            # negatives at all): nothing to learn, keep everything.
+            return blocks_from_edges(edges, collection.is_clean_clean)
+
+        n_pos = max(1, round(self.training_fraction * len(positive_rows)))
+        n_neg = min(len(negative_rows), max(1, round(self.negative_ratio * n_pos)))
+        pos_sample = rng.choice(len(positive_rows), size=n_pos, replace=False)
+        neg_sample = rng.choice(len(negative_rows), size=n_neg, replace=False)
+        train_rows = [positive_rows[i] for i in pos_sample] + [
+            negative_rows[i] for i in neg_sample
+        ]
+        labels = np.array([1.0] * n_pos + [-1.0] * n_neg)
+
+        svm = LinearSVM(seed=self.seed)
+        svm.fit(features[train_rows], labels)
+        retained: list[Edge] = [
+            edge
+            for edge, prediction in zip(edges, svm.predict(features))
+            if prediction > 0
+        ]
+        return blocks_from_edges(retained, collection.is_clean_clean)

@@ -1,0 +1,93 @@
+"""A from-scratch linear SVM (Pegasos stochastic sub-gradient descent).
+
+The paper's supervised comparator uses a Support Vector Machine; no ML
+library is available offline, so this module implements the same model
+class — a linear max-margin classifier with hinge loss and L2
+regularization — via the Pegasos algorithm [Shalev-Shwartz et al., 2011].
+Features are standardized internally; training is deterministic given the
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+class LinearSVM:
+    """Binary linear SVM trained with Pegasos SGD.
+
+    Parameters
+    ----------
+    regularization:
+        The lambda of the hinge objective; smaller fits the training data
+        harder.
+    epochs:
+        Full passes over the training set.
+    seed:
+        Seed for the per-epoch shuffling.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-3,
+        epochs: int = 20,
+        seed: int | None = None,
+    ) -> None:
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        """Train on *features* (n x d) and *labels* in {-1, +1} or {0, 1}."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("features/labels shape mismatch")
+        y = np.where(y > 0, 1.0, -1.0)
+        if np.unique(y).size < 2:
+            raise ValueError("training data must contain both classes")
+
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 0, std, 1.0)
+        X = (X - self._mean) / self._std
+
+        rng = make_rng(self.seed)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        lam = self.regularization
+        step = 0
+        for _ in range(self.epochs):
+            for idx in rng.permutation(n):
+                step += 1
+                eta = 1.0 / (lam * step)
+                margin = y[idx] * (X[idx] @ w + b)
+                w *= 1.0 - eta * lam
+                if margin < 1.0:
+                    w += eta * y[idx] * X[idx]
+                    b += eta * y[idx]
+        self.weights = w
+        self.bias = b
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed margins; positive means the positive class."""
+        if self.weights is None:
+            raise RuntimeError("fit() must be called before prediction")
+        X = (np.asarray(features, dtype=float) - self._mean) / self._std
+        return X @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class labels in {-1, +1}."""
+        return np.where(self.decision_function(features) >= 0.0, 1, -1)

@@ -1,0 +1,7 @@
+"""Shared utilities: text transformation, deterministic RNG, timing."""
+
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer
+from repro.utils.tokenize import normalize, qgrams, tokenize
+
+__all__ = ["make_rng", "Timer", "normalize", "qgrams", "tokenize"]

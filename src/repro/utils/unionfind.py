@@ -1,0 +1,63 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+Used for the connected-components step of attribute-match induction
+(Algorithm 1, line 17) and for grouping matched profiles into entities in
+the matching substrate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items.
+
+    Items are added lazily by :meth:`find`/:meth:`union`.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._size: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Register *item* as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: T) -> T:
+        """Representative of *item*'s set (registering it if new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> None:
+        """Merge the sets containing *a* and *b*."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+    def connected(self, a: T, b: T) -> bool:
+        """Whether *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def components(self) -> list[set[T]]:
+        """All sets, each as a plain ``set``, in deterministic order."""
+        by_root: dict[T, set[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return [by_root[root] for root in sorted(by_root, key=repr)]

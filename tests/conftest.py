@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's Figure 1 example and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
+
+
+def _figure1_profiles() -> tuple[EntityProfile, ...]:
+    """The four entity profiles of Figure 1a, verbatim."""
+    p1 = EntityProfile.from_dict(
+        "p1",
+        {"Name": "John Abram Jr", "profession": "car seller", "year": "1985",
+         "Addr.": "Main street"},
+    )
+    p2 = EntityProfile.from_dict(
+        "p2",
+        {"FirstName": "Ellen", "SecondName": "Smith", "year": "85",
+         "occupation": "retail", "mail": "Abram st. 30 NY"},
+    )
+    p3 = EntityProfile.from_dict(
+        "p3",
+        {"name1": "Jon Jr", "name2": "Abram", "birth year": "85",
+         "job": "car retail", "Loc": "Main st."},
+    )
+    p4 = EntityProfile.from_dict(
+        "p4",
+        {"full name": "Ellen Smith", "b. date": "May 10 1985",
+         "work info": "retailer", "loc": "Abram street NY"},
+    )
+    return p1, p2, p3, p4
+
+
+@pytest.fixture
+def figure1_clean_clean() -> ERDataset:
+    """Figure 1 as a clean-clean task: {p1, p2} vs {p3, p4}.
+
+    Global indices: p1=0, p2=1, p3=2, p4=3.  Matches: p1~p3, p2~p4.
+    """
+    p1, p2, p3, p4 = _figure1_profiles()
+    return ERDataset(
+        EntityCollection([p1, p2], "S1"),
+        EntityCollection([p3, p4], "S2"),
+        GroundTruth([("p1", "p3"), ("p2", "p4")]),
+        name="figure1-cc",
+    )
+
+
+@pytest.fixture
+def figure1_dirty() -> ERDataset:
+    """Figure 1 as the paper draws it: one collection of four profiles
+    "from four different data sources".  Indices p1=0 .. p4=3."""
+    profiles = _figure1_profiles()
+    return ERDataset(
+        EntityCollection(profiles, "web"),
+        None,
+        GroundTruth([("p1", "p3"), ("p2", "p4")], clean_clean=False),
+        name="figure1-dirty",
+    )
+
+
+@pytest.fixture
+def tiny_clean_clean() -> ERDataset:
+    """A minimal fully-mappable pair for fast pipeline tests."""
+    left = [
+        EntityProfile.from_dict("a0", {"name": "alice carol", "city": "rome"}),
+        EntityProfile.from_dict("a1", {"name": "bob dylan", "city": "oslo"}),
+        EntityProfile.from_dict("a2", {"name": "carol danvers", "city": "kyoto"}),
+    ]
+    right = [
+        EntityProfile.from_dict("b0", {"fullname": "alice carol", "town": "rome"}),
+        EntityProfile.from_dict("b1", {"fullname": "bob dilan", "town": "oslo"}),
+        EntityProfile.from_dict("b2", {"fullname": "eve moneypenny", "town": "quito"}),
+    ]
+    return ERDataset(
+        EntityCollection(left, "L"),
+        EntityCollection(right, "R"),
+        GroundTruth([("a0", "b0"), ("a1", "b1")]),
+        name="tiny",
+    )

@@ -1,0 +1,66 @@
+"""Integration: the whole system is reproducible bit for bit.
+
+Every benchmark table must regenerate identically, so every layer — data
+generation, LSH, SVM training, pruning — has to be deterministic given its
+seeds.  These tests pin that guarantee end to end.
+"""
+
+from repro import (
+    Blast,
+    BlastConfig,
+    evaluate_blocks,
+    load_clean_clean,
+    load_dirty,
+)
+from repro.supervised import SupervisedMetaBlocking
+
+
+def _pair_set(blocks):
+    return {tuple(sorted(b.profiles)) for b in blocks}
+
+
+class TestDatasetDeterminism:
+    def test_clean_clean_regeneration(self):
+        a = load_clean_clean("mov", scale=0.2, seed=99)
+        b = load_clean_clean("mov", scale=0.2, seed=99)
+        assert [p.attributes for p in a.collection1] == \
+            [p.attributes for p in b.collection1]
+        assert [p.attributes for p in a.collection2] == \
+            [p.attributes for p in b.collection2]
+        assert a.truth_pairs == b.truth_pairs
+
+    def test_dirty_regeneration(self):
+        a = load_dirty("cora", scale=0.3, seed=99)
+        b = load_dirty("cora", scale=0.3, seed=99)
+        assert [p.attributes for p in a.collection1] == \
+            [p.attributes for p in b.collection1]
+
+
+class TestPipelineDeterminism:
+    def test_blast_output_identical_across_runs(self):
+        dataset = load_clean_clean("prd", scale=0.5, seed=5)
+        out1 = Blast().run(dataset).blocks
+        out2 = Blast().run(dataset).blocks
+        assert _pair_set(out1) == _pair_set(out2)
+
+    def test_lsh_pipeline_deterministic_given_seed(self):
+        dataset = load_clean_clean("dbp", scale=0.25, seed=5)
+        config = BlastConfig(use_lsh=True, lsh_threshold=0.3, seed=17)
+        out1 = Blast(config).run(dataset).blocks
+        out2 = Blast(config).run(dataset).blocks
+        assert _pair_set(out1) == _pair_set(out2)
+
+    def test_supervised_deterministic_given_seed(self):
+        from repro import prepare_blocks
+
+        dataset = load_clean_clean("ar1", scale=0.4, seed=5)
+        base = prepare_blocks(dataset)
+        out1 = SupervisedMetaBlocking(seed=23).run(base, dataset)
+        out2 = SupervisedMetaBlocking(seed=23).run(base, dataset)
+        assert _pair_set(out1) == _pair_set(out2)
+
+    def test_quality_metrics_stable(self):
+        dataset = load_clean_clean("ar1", scale=0.4, seed=5)
+        q1 = evaluate_blocks(Blast().run(dataset).blocks, dataset)
+        q2 = evaluate_blocks(Blast().run(dataset).blocks, dataset)
+        assert q1 == q2

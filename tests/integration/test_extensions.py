@@ -1,0 +1,73 @@
+"""Integration: the optional/extension features composed end to end."""
+
+import pytest
+
+from repro import Blast, BlastConfig, evaluate_blocks, load_clean_clean
+from repro.blocking import CanopyBlocking, block_filtering, block_purging
+from repro.graph import MetaBlocker
+from repro.metrics import block_collection_stats
+
+
+class TestTfIdfPipeline:
+    def test_tfidf_representation_matches_binary_on_ar1(self):
+        """Section 2.1's alternative representation plugged into the full
+        pipeline: on a fully mappable pair both representations find the
+        same alignment and hence the same final quality."""
+        dataset = load_clean_clean("ar1", scale=0.5, seed=3)
+        binary = Blast(BlastConfig(representation="binary")).run(dataset)
+        tfidf = Blast(BlastConfig(representation="tfidf")).run(dataset)
+        qb = evaluate_blocks(binary.blocks, dataset)
+        qt = evaluate_blocks(tfidf.blocks, dataset)
+        assert qt.pair_completeness == pytest.approx(qb.pair_completeness, abs=0.01)
+        assert qt.pair_quality == pytest.approx(qb.pair_quality, rel=0.1)
+
+    def test_tfidf_plus_lsh_rejected(self):
+        with pytest.raises(ValueError, match="LSH"):
+            BlastConfig(representation="tfidf", use_lsh=True)
+
+
+class TestCanopyComposition:
+    def test_canopy_plus_metablocking(self):
+        """Canopy blocks are a valid meta-blocking substrate too."""
+        dataset = load_clean_clean("prd", scale=0.4, seed=3)
+        canopies = CanopyBlocking(loose_threshold=0.2, tight_threshold=0.6,
+                                  seed=1).build(dataset)
+        canopies = block_filtering(
+            block_purging(canopies, dataset.num_profiles)
+        )
+        out = MetaBlocker().run(canopies)
+        before = evaluate_blocks(canopies, dataset)
+        after = evaluate_blocks(out, dataset)
+        assert after.pair_quality >= before.pair_quality
+        assert block_collection_stats(out).redundancy_ratio == 1.0
+
+
+class TestQgramPipelineOnTypos:
+    def test_qgram_keys_recover_typo_matches(self):
+        """With heavy typos, q-gram keys index matches whole tokens miss."""
+        from repro.blocking import LooselySchemaAwareBlocking
+        from repro.datasets.generator import (
+            FieldSpec,
+            NoiseModel,
+            SourceSchema,
+            make_clean_clean_dataset,
+        )
+        from repro.datasets import samplers as s
+
+        heavy_typos = NoiseModel(typo_prob=0.9, token_drop_prob=0,
+                                 abbreviate_prob=0, missing_prob=0)
+        fields = (FieldSpec("name", s.person_name),)
+        ds = make_clean_clean_dataset(
+            "typos", fields,
+            SourceSchema("A", {"name": ("name",)}, noise=heavy_typos),
+            SourceSchema("B", {"label": ("name",)}, noise=heavy_typos),
+            size1=80, size2=80, matches=60, seed=9,
+        )
+        part = Blast().extract_loose_schema(ds)
+        token_blocks = LooselySchemaAwareBlocking(part).build(ds)
+        qgram_blocks = LooselySchemaAwareBlocking(
+            part, transformation="qgram", q=3
+        ).build(ds)
+        pc_token = evaluate_blocks(token_blocks, ds).pair_completeness
+        pc_qgram = evaluate_blocks(qgram_blocks, ds).pair_completeness
+        assert pc_qgram > pc_token

@@ -1,0 +1,94 @@
+"""Property-based tests: generated datasets always satisfy ER invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.generator import (
+    FieldSpec,
+    NoiseModel,
+    SourceSchema,
+    make_clean_clean_dataset,
+    make_dirty_dataset,
+)
+
+FIELDS = (
+    FieldSpec("name", lambda rng, v: v.pick(rng, v.first_names)),
+    FieldSpec("year", lambda rng, v: str(int(rng.integers(1980, 1990)))),
+)
+SCHEMA_A = SourceSchema("A", {"name": ("name",), "year": ("year",)})
+SCHEMA_B = SourceSchema("B", {"n": ("name",), "y": ("year",)})
+
+
+class TestCleanCleanInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        size1=st.integers(2, 30),
+        size2=st.integers(2, 30),
+        seed=st.integers(0, 10_000),
+    )
+    def test_sizes_ids_and_truth(self, size1, size2, seed):
+        matches = min(size1, size2) // 2
+        ds = make_clean_clean_dataset(
+            "t", FIELDS, SCHEMA_A, SCHEMA_B, size1, size2, matches, seed
+        )
+        assert len(ds.collection1) == size1
+        assert len(ds.collection2) == size2
+        assert ds.num_duplicates == matches
+        # every truth pair references an E1 index and an E2 index
+        for i, j in ds.truth_pairs:
+            assert ds.source_of(i) == 0
+            assert ds.source_of(j) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_each_profile_matched_at_most_once(self, seed):
+        ds = make_clean_clean_dataset(
+            "t", FIELDS, SCHEMA_A, SCHEMA_B, 20, 15, 7, seed
+        )
+        left = [i for i, _ in ds.truth_pairs]
+        right = [j for _, j in ds.truth_pairs]
+        assert len(left) == len(set(left))  # clean source 1
+        assert len(right) == len(set(right))  # clean source 2
+
+
+class TestDirtyInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 5), min_size=1, max_size=15),
+        seed=st.integers(0, 10_000),
+    )
+    def test_profile_count_and_match_count(self, sizes, seed):
+        ds = make_dirty_dataset("t", FIELDS, SCHEMA_A, sizes, seed)
+        assert ds.num_profiles == sum(sizes)
+        assert ds.num_duplicates == sum(s * (s - 1) // 2 for s in sizes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_truth_pairs_have_distinct_members(self, seed):
+        ds = make_dirty_dataset("t", FIELDS, SCHEMA_A, [3, 3, 2], seed)
+        for i, j in ds.truth_pairs:
+            assert i < j
+
+
+class TestNoiseProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        value=st.text(
+            alphabet="abcdefghij ", min_size=1, max_size=30
+        ).filter(lambda v: v.strip()),
+        seed=st.integers(0, 10_000),
+    )
+    def test_corrupt_never_returns_blank(self, value, seed):
+        from repro.utils.rng import make_rng
+
+        noise = NoiseModel(typo_prob=0.5, token_drop_prob=0.5,
+                           abbreviate_prob=0.5, missing_prob=0.0)
+        out = noise.corrupt(make_rng(seed), value)
+        assert out is None or out.strip()
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_zero_noise_identity(self, seed):
+        from repro.utils.rng import make_rng
+
+        noise = NoiseModel(0, 0, 0, 0)
+        assert noise.corrupt(make_rng(seed), "stable value") == "stable value"

@@ -1,0 +1,129 @@
+"""Property-based tests: contingency tables, chi-squared, pruning."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.blocking.base import Block, BlockCollection
+from repro.graph import BlockingGraph
+from repro.graph.contingency import ContingencyTable
+from repro.graph.pruning import (
+    BlastPruning,
+    CardinalityEdgePruning,
+    CardinalityNodePruning,
+    WeightEdgePruning,
+    WeightNodePruning,
+)
+
+
+@st.composite
+def consistent_counts(draw):
+    total = draw(st.integers(min_value=1, max_value=200))
+    blocks_u = draw(st.integers(min_value=0, max_value=total))
+    blocks_v = draw(st.integers(min_value=0, max_value=total))
+    low = max(0, blocks_u + blocks_v - total)
+    high = min(blocks_u, blocks_v)
+    shared = draw(st.integers(min_value=low, max_value=high))
+    return shared, blocks_u, blocks_v, total
+
+
+class TestContingencyProperties:
+    @given(consistent_counts())
+    def test_cells_nonnegative_and_margins_sum(self, counts):
+        shared, bu, bv, total = counts
+        t = ContingencyTable.from_counts(shared, bu, bv, total)
+        assert min(t.n11, t.n12, t.n21, t.n22) >= 0
+        assert t.total == total
+        assert t.row_totals[0] == bu
+        assert t.col_totals[0] == bv
+
+    @given(consistent_counts())
+    def test_chi_squared_nonnegative_and_bounded(self, counts):
+        shared, bu, bv, total = counts
+        t = ContingencyTable.from_counts(shared, bu, bv, total)
+        statistic = t.chi_squared()
+        assert statistic >= 0.0
+        # for a 2x2 table the statistic is at most n (phi^2 <= 1)
+        assert statistic <= total + 1e-9
+
+    @given(consistent_counts())
+    def test_transpose_invariance(self, counts):
+        shared, bu, bv, total = counts
+        a = ContingencyTable.from_counts(shared, bu, bv, total).chi_squared()
+        b = ContingencyTable.from_counts(shared, bv, bu, total).chi_squared()
+        assert abs(a - b) < 1e-9
+
+
+@st.composite
+def weighted_graphs(draw):
+    """A random star-free dirty collection plus positive edge weights."""
+    keyed = draw(
+        st.dictionaries(
+            keys=st.text(alphabet="xyz", min_size=1, max_size=3),
+            values=st.sets(st.integers(0, 9), min_size=2, max_size=5),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    blocks = [
+        Block(key, frozenset(members)) for key, members in sorted(keyed.items())
+    ]
+    graph = BlockingGraph(BlockCollection(blocks, False))
+    edges = [edge for edge, _ in graph.edges()]
+    assume(edges)
+    weights = {
+        edge: draw(st.floats(min_value=0.01, max_value=10.0)) for edge in edges
+    }
+    return graph, weights
+
+
+ALL_SCHEMES = [
+    WeightEdgePruning(),
+    CardinalityEdgePruning(k=3),
+    WeightNodePruning(reciprocal=False),
+    WeightNodePruning(reciprocal=True),
+    CardinalityNodePruning(reciprocal=False, k=2),
+    CardinalityNodePruning(reciprocal=True, k=2),
+    BlastPruning(),
+]
+
+
+class TestPruningProperties:
+    @given(weighted_graphs())
+    def test_retained_subset_of_edges(self, graph_weights):
+        graph, weights = graph_weights
+        for scheme in ALL_SCHEMES:
+            assert scheme.prune(graph, weights) <= set(weights)
+
+    @given(weighted_graphs())
+    def test_reciprocal_subset_of_redefined(self, graph_weights):
+        graph, weights = graph_weights
+        wnp1 = WeightNodePruning(False).prune(graph, weights)
+        wnp2 = WeightNodePruning(True).prune(graph, weights)
+        cnp1 = CardinalityNodePruning(False, k=2).prune(graph, weights)
+        cnp2 = CardinalityNodePruning(True, k=2).prune(graph, weights)
+        assert wnp2 <= wnp1
+        assert cnp2 <= cnp1
+
+    @given(weighted_graphs())
+    def test_every_scheme_retains_something(self, graph_weights):
+        graph, weights = graph_weights
+        for scheme in ALL_SCHEMES:
+            assert scheme.prune(graph, weights)
+
+    @given(weighted_graphs())
+    def test_blast_keeps_global_max(self, graph_weights):
+        graph, weights = graph_weights
+        best = max(weights, key=lambda e: weights[e])
+        assert best in BlastPruning().prune(graph, weights)
+
+    @given(weighted_graphs(), st.floats(min_value=1.0, max_value=8.0))
+    def test_blast_monotone_in_c(self, graph_weights, c):
+        graph, weights = graph_weights
+        strict = BlastPruning(c=1.0).prune(graph, weights)
+        lenient = BlastPruning(c=c).prune(graph, weights)
+        assert strict <= lenient
+
+    @given(weighted_graphs())
+    def test_cep_cardinality_bound(self, graph_weights):
+        graph, weights = graph_weights
+        kept = CardinalityEdgePruning(k=3).prune(graph, weights)
+        assert len(kept) <= 3

@@ -1,0 +1,61 @@
+"""Property-based tests: MinHash preserves Jaccard similarity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lsh import MinHasher, candidate_probability, estimated_threshold
+from repro.schema.similarity import jaccard
+
+token_pool = [f"tok{i}" for i in range(40)]
+token_sets = st.sets(st.sampled_from(token_pool), min_size=1, max_size=30)
+
+
+class TestMinHashProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(token_sets, token_sets)
+    def test_estimate_within_tolerance(self, a, b):
+        hasher = MinHasher(num_hashes=256, seed=11)
+        sigs = hasher.signatures([a, b])
+        estimate = hasher.estimate_jaccard(sigs[0], sigs[1])
+        assert abs(estimate - jaccard(a, b)) < 0.25
+
+    @settings(max_examples=30, deadline=None)
+    @given(token_sets)
+    def test_identical_sets_estimate_one(self, a):
+        hasher = MinHasher(num_hashes=64, seed=11)
+        sigs = hasher.signatures([a, set(a)])
+        assert hasher.estimate_jaccard(sigs[0], sigs[1]) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(token_sets, token_sets)
+    def test_order_of_input_rows_irrelevant(self, a, b):
+        hasher = MinHasher(num_hashes=64, seed=11)
+        fwd = hasher.signatures([a, b])
+        rev = hasher.signatures([b, a])
+        assert (fwd[0] == rev[1]).all() and (fwd[1] == rev[0]).all()
+
+
+class TestSCurveProperties:
+    @given(st.integers(1, 10), st.integers(1, 50),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_probability_in_unit_interval(self, rows, bands, s):
+        p = candidate_probability(s, rows, bands)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(1, 10), st.integers(1, 50))
+    def test_threshold_in_unit_interval(self, rows, bands):
+        assert 0.0 < estimated_threshold(rows, bands) <= 1.0
+
+    @given(st.integers(1, 10), st.integers(2, 50),
+           st.floats(min_value=0.01, max_value=0.99),
+           st.floats(min_value=0.01, max_value=0.99))
+    def test_monotone_in_similarity(self, rows, bands, s1, s2):
+        lo, hi = sorted((s1, s2))
+        assert candidate_probability(lo, rows, bands) <= candidate_probability(
+            hi, rows, bands
+        ) + 1e-12
+
+    @given(st.integers(1, 8), st.integers(1, 40))
+    def test_more_bands_lower_threshold(self, rows, bands):
+        t1 = estimated_threshold(rows, bands)
+        t2 = estimated_threshold(rows, bands + 5)
+        assert t2 <= t1

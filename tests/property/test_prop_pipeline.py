@@ -1,0 +1,103 @@
+"""Property-based tests: the full BLAST pipeline on random tiny datasets.
+
+Random clean-clean tasks are generated with the library's own generator
+(different field layouts, sizes and seeds per example) and pushed through
+the complete pipeline; the properties are the structural guarantees the
+system must never violate, whatever the data looks like.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Blast, BlastConfig, prepare_blocks
+from repro.datasets import samplers as s
+from repro.datasets.generator import (
+    FieldSpec,
+    NoiseModel,
+    SourceSchema,
+    make_clean_clean_dataset,
+)
+from repro.metrics import evaluate_blocks
+
+FIELD_CHOICES = (
+    FieldSpec("name", s.person_name),
+    FieldSpec("title", s.title),
+    FieldSpec("year", s.year),
+    FieldSpec("city", s.city),
+    FieldSpec("brand", s.brand),
+)
+
+
+@st.composite
+def random_datasets(draw):
+    num_fields = draw(st.integers(min_value=2, max_value=5))
+    fields = FIELD_CHOICES[:num_fields]
+    noise = NoiseModel(
+        typo_prob=draw(st.floats(0, 0.2)),
+        token_drop_prob=draw(st.floats(0, 0.2)),
+        abbreviate_prob=draw(st.floats(0, 0.2)),
+        missing_prob=draw(st.floats(0, 0.1)),
+    )
+    schema1 = SourceSchema(
+        "A", {f.name: (f.name,) for f in fields}, noise=noise
+    )
+    schema2 = SourceSchema(
+        "B", {f"{f.name}_2": (f.name,) for f in fields}, noise=noise
+    )
+    size1 = draw(st.integers(min_value=5, max_value=40))
+    size2 = draw(st.integers(min_value=5, max_value=40))
+    matches = draw(st.integers(min_value=1, max_value=min(size1, size2)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return make_clean_clean_dataset(
+        "prop", fields, schema1, schema2, size1, size2, matches, seed
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_datasets())
+def test_output_pairs_subset_of_initial(dataset):
+    result = Blast().run(dataset)
+    final_pairs = {tuple(sorted(b.profiles)) for b in result.blocks}
+    initial_pairs = result.initial_blocks.distinct_pairs()
+    assert final_pairs <= initial_pairs
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_datasets())
+def test_output_is_redundancy_free(dataset):
+    result = Blast().run(dataset)
+    assert result.blocks.aggregate_cardinality == len(result.blocks)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_datasets())
+def test_meta_blocking_never_lowers_pq(dataset):
+    result = Blast().run(dataset)
+    before = evaluate_blocks(result.initial_blocks, dataset)
+    after = evaluate_blocks(result.blocks, dataset)
+    if before.comparisons > 0 and after.comparisons > 0:
+        assert after.pair_quality >= before.pair_quality
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_datasets())
+def test_partitioning_covers_every_attribute(dataset):
+    partitioning = Blast().extract_loose_schema(dataset)
+    for source, collection in ((0, dataset.collection1),
+                               (1, dataset.collection2)):
+        for attribute in collection.attribute_names:
+            assert partitioning.cluster_of(source, attribute) is not None
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_datasets(), st.floats(min_value=1.0, max_value=4.0))
+def test_pc_monotone_in_pruning_c(dataset, c):
+    strict = Blast(BlastConfig(pruning_c=1.0)).run(dataset)
+    lenient = Blast(BlastConfig(pruning_c=c)).run(dataset)
+    pc_strict = evaluate_blocks(strict.blocks, dataset).pair_completeness
+    pc_lenient = evaluate_blocks(lenient.blocks, dataset).pair_completeness
+    assert pc_lenient >= pc_strict - 1e-12

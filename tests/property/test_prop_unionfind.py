@@ -1,0 +1,52 @@
+"""Property-based tests: union-find against a naive reference."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+operations = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+)
+
+
+def _naive_components(items: set[int], unions: list[tuple[int, int]]) -> set[frozenset]:
+    groups: list[set[int]] = [{i} for i in items]
+    for a, b in unions:
+        ga = next(g for g in groups if a in g)
+        gb = next(g for g in groups if b in g)
+        if ga is not gb:
+            groups.remove(gb)
+            ga |= gb
+    return {frozenset(g) for g in groups}
+
+
+class TestAgainstReference:
+    @given(operations)
+    def test_components_match_naive(self, unions):
+        items = {x for pair in unions for x in pair}
+        uf = UnionFind(items)
+        for a, b in unions:
+            uf.union(a, b)
+        assert {frozenset(c) for c in uf.components()} == _naive_components(
+            items, unions
+        )
+
+    @given(operations, st.integers(0, 15), st.integers(0, 15))
+    def test_connected_consistent_with_components(self, unions, x, y):
+        uf = UnionFind(range(16))
+        for a, b in unions:
+            uf.union(a, b)
+        same = any({x, y} <= set(c) for c in uf.components())
+        assert uf.connected(x, y) == same
+
+    @given(operations)
+    def test_union_is_commutative_in_outcome(self, unions):
+        forward = UnionFind(range(16))
+        backward = UnionFind(range(16))
+        for a, b in unions:
+            forward.union(a, b)
+        for a, b in reversed(unions):
+            backward.union(b, a)
+        assert {frozenset(c) for c in forward.components()} == {
+            frozenset(c) for c in backward.components()
+        }

@@ -1,0 +1,107 @@
+"""Tests for the benchmark dataset configurations (Table 2 / Table 7)."""
+
+import pytest
+
+from repro.datasets import (
+    dataset_characteristics,
+    load_clean_clean,
+    load_dirty,
+)
+from repro.datasets.benchmarks import CLEAN_CLEAN_DATASETS, PAPER_SCALE
+from repro.datasets.dirty import DIRTY_DATASETS
+
+
+class TestCleanCleanConfigs:
+    def test_all_names_load(self):
+        for name in CLEAN_CLEAN_DATASETS:
+            ds = load_clean_clean(name, scale=0.05)
+            assert ds.is_clean_clean
+            assert ds.num_duplicates > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_clean_clean("nope")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_clean_clean("ar1", scale=0)
+
+    def test_scale_grows_sizes(self):
+        small = load_clean_clean("prd", scale=0.2)
+        large = load_clean_clean("prd", scale=0.4)
+        assert large.num_profiles > small.num_profiles
+
+    def test_deterministic_given_seed(self):
+        a = load_clean_clean("ar1", scale=0.1, seed=3)
+        b = load_clean_clean("ar1", scale=0.1, seed=3)
+        assert [p.attributes for p in a.collection1] == \
+            [p.attributes for p in b.collection1]
+        assert a.truth_pairs == b.truth_pairs
+
+    def test_ar1_is_fully_mappable_4x4(self):
+        stats = dataset_characteristics(load_clean_clean("ar1", scale=0.2))
+        assert stats.attributes1 == 4 and stats.attributes2 == 4
+
+    def test_mov_is_partially_mappable_4x7(self):
+        stats = dataset_characteristics(load_clean_clean("mov", scale=0.2))
+        assert stats.attributes1 == 4 and stats.attributes2 == 7
+
+    def test_dbp_has_wide_schemas(self):
+        stats = dataset_characteristics(load_clean_clean("dbp", scale=0.2))
+        assert stats.attributes1 > 50 and stats.attributes2 > 50
+
+    def test_ar2_size_asymmetry(self):
+        stats = dataset_characteristics(load_clean_clean("ar2", scale=0.2))
+        assert stats.size2 > 5 * stats.size1  # DBLP vs Scholar imbalance
+
+    def test_paper_scale_recorded_for_all(self):
+        assert set(PAPER_SCALE) == set(CLEAN_CLEAN_DATASETS)
+
+    def test_characteristics_rejects_dirty(self):
+        with pytest.raises(ValueError):
+            dataset_characteristics(load_dirty("census", scale=0.2))
+
+    def test_dbp_wide_variant(self):
+        from repro.datasets.benchmarks import load_dbp_wide
+
+        narrow = dataset_characteristics(load_dbp_wide(num_rare=40, scale=0.1))
+        wide = dataset_characteristics(load_dbp_wide(num_rare=120, scale=0.1))
+        assert wide.attributes1 > narrow.attributes1
+
+    def test_dbp_wide_validation(self):
+        from repro.datasets.benchmarks import load_dbp_wide
+
+        with pytest.raises(ValueError, match="num_rare"):
+            load_dbp_wide(num_rare=0)
+
+
+class TestDirtyConfigs:
+    def test_all_names_load(self):
+        for name in DIRTY_DATASETS:
+            ds = load_dirty(name, scale=0.1)
+            assert not ds.is_clean_clean
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dirty("nope")
+
+    def test_census_structure(self):
+        ds = load_dirty("census", scale=1.0)
+        assert len(ds.collection1.attribute_names) == 5
+        # duplicates come in pairs: matches == duplicated entities
+        assert ds.num_duplicates == 300
+
+    def test_cora_heavy_duplication(self):
+        ds = load_dirty("cora", scale=1.0)
+        # few entities, many duplicates each: matches far exceed profiles
+        assert ds.num_duplicates > 5 * ds.num_profiles
+
+    def test_cddb_wide_schema(self):
+        ds = load_dirty("cddb", scale=0.3)
+        assert len(ds.collection1.attribute_names) > 30
+
+    def test_ground_truth_pairs_resolvable(self):
+        ds = load_dirty("census", scale=0.2)
+        for i, j in ds.truth_pairs:
+            assert i != j
+            assert ds.profile(i) is not None and ds.profile(j) is not None

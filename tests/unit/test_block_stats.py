@@ -1,0 +1,61 @@
+"""Tests for block collection statistics."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blocking.base import Block, BlockCollection
+from repro.graph import MetaBlocker
+from repro.metrics import block_collection_stats
+
+
+class TestBlockCollectionStats:
+    def test_figure1_numbers(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        stats = block_collection_stats(blocks)
+        assert stats.num_blocks == 12
+        assert stats.num_profiles == 4
+        assert stats.aggregate_cardinality == 17
+        assert stats.distinct_comparisons == 6  # complete graph on 4 nodes
+        assert stats.redundancy_ratio == pytest.approx(17 / 6)
+        assert stats.max_block_size == 4  # the "abram" block
+        assert stats.min_block_size == 2
+
+    def test_metablocked_output_is_redundancy_free(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        out = MetaBlocker().run(blocks)
+        stats = block_collection_stats(out)
+        assert stats.redundancy_ratio == 1.0
+        assert stats.aggregate_cardinality == stats.distinct_comparisons
+
+    def test_median_even_and_odd(self):
+        even = BlockCollection(
+            [Block("a", frozenset({0, 1})), Block("b", frozenset({0, 1, 2, 3}))],
+            False,
+        )
+        assert block_collection_stats(even).median_block_size == 3.0
+        odd = BlockCollection(
+            [Block("a", frozenset({0, 1})),
+             Block("b", frozenset({0, 1, 2})),
+             Block("c", frozenset({0, 1, 2, 3, 4}))],
+            False,
+        )
+        assert block_collection_stats(odd).median_block_size == 3.0
+
+    def test_empty_collection(self):
+        stats = block_collection_stats(BlockCollection([], True))
+        assert stats.num_blocks == 0
+        assert stats.redundancy_ratio == 1.0
+
+    def test_blocks_per_profile(self):
+        blocks = BlockCollection(
+            [Block("a", frozenset({0, 1})), Block("b", frozenset({0, 2}))],
+            False,
+        )
+        stats = block_collection_stats(blocks)
+        # profile 0 in 2 blocks, profiles 1 and 2 in 1 each
+        assert stats.mean_blocks_per_profile == pytest.approx(4 / 3)
+
+    def test_str_is_informative(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        text = str(block_collection_stats(blocks))
+        assert "redundancy=" in text and "blocks=12" in text

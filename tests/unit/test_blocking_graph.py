@@ -1,0 +1,80 @@
+"""Tests for the blocking graph construction."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blocking.base import Block, BlockCollection
+from repro.graph import BlockingGraph
+
+
+class TestFigure1Graph:
+    def test_edge_set_matches_figure_1c(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        edges = {edge for edge, _ in graph.edges()}
+        # all 6 pairs of the 4 profiles co-occur (everyone shares "abram")
+        assert edges == {(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+
+    def test_shared_block_counts_match_figure_1c(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        cbs = {edge: s.shared_blocks for edge, s in graph.edges()}
+        assert cbs[(0, 2)] == 4  # p1-p3
+        assert cbs[(1, 3)] == 4  # p2-p4
+        assert cbs[(0, 3)] == 3  # p1-p4
+        assert cbs[(1, 2)] == 4  # p2-p3
+        assert cbs[(0, 1)] == 1  # p1-p2 (only "abram")
+        assert cbs[(2, 3)] == 1  # p3-p4
+
+    def test_node_blocks_match_table_1(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        # Table 1's example column: n1. = |B_p1| = 6, n.1 = |B_p3| = 7,
+        # n.. = |B| = 12.
+        assert graph.node_blocks[0] == 6
+        assert graph.node_blocks[2] == 7
+        assert graph.num_blocks == 12
+
+
+class TestAccumulation:
+    def test_arcs_mass(self):
+        # one block of 2 comparisons and one of 1: edge (0, 5) in both.
+        blocks = BlockCollection(
+            [
+                Block("a", frozenset({0}), frozenset({5, 6})),
+                Block("b", frozenset({0}), frozenset({5})),
+            ],
+            True,
+        )
+        graph = BlockingGraph(blocks)
+        assert graph.stats((0, 5)).arcs_mass == pytest.approx(0.5 + 1.0)
+        assert graph.stats((0, 6)).arcs_mass == pytest.approx(0.5)
+
+    def test_entropy_mass_uses_key_entropy(self):
+        blocks = BlockCollection(
+            [
+                Block("high#1", frozenset({0}), frozenset({5})),
+                Block("low#2", frozenset({0}), frozenset({5})),
+            ],
+            True,
+        )
+        entropies = {"high#1": 3.0, "low#2": 1.0}
+        graph = BlockingGraph(blocks, key_entropy=entropies.__getitem__)
+        assert graph.stats((0, 5)).mean_entropy == pytest.approx(2.0)
+
+    def test_default_entropy_is_one(self):
+        blocks = BlockCollection([Block("k", frozenset({0}), frozenset({5}))], True)
+        assert BlockingGraph(blocks).stats((0, 5)).mean_entropy == 1.0
+
+    def test_degrees(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        assert graph.degrees == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_adjacency_lists_cover_all_edges(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        adjacency = graph.adjacency()
+        assert sum(len(v) for v in adjacency.values()) == 2 * graph.num_edges
+
+    def test_counts(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        assert graph.num_nodes == 4
+        assert len(graph) == graph.num_edges == 6
+        assert (0, 2) in graph
+        assert (9, 10) not in graph

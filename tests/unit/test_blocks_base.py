@@ -1,0 +1,96 @@
+"""Tests for repro.blocking.base: Block, BlockCollection, build_blocks."""
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection, build_blocks
+
+
+class TestBlock:
+    def test_clean_clean_comparisons(self):
+        b = Block("k", frozenset({0, 1}), frozenset({5, 6, 7}))
+        assert b.num_comparisons == 6
+        assert b.size == 5
+
+    def test_dirty_comparisons(self):
+        b = Block("k", frozenset({0, 1, 2, 3}))
+        assert b.num_comparisons == 6
+        assert b.size == 4
+
+    def test_clean_clean_pairs_cross_source_only(self):
+        b = Block("k", frozenset({0}), frozenset({5, 6}))
+        assert set(b.iter_pairs()) == {(0, 5), (0, 6)}
+
+    def test_dirty_pairs_canonical(self):
+        b = Block("k", frozenset({3, 1, 2}))
+        assert set(b.iter_pairs()) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_profiles_union(self):
+        b = Block("k", frozenset({0}), frozenset({5}))
+        assert b.profiles == {0, 5}
+
+    def test_singleton_dirty_block_has_no_pairs(self):
+        b = Block("k", frozenset({9}))
+        assert b.num_comparisons == 0
+        assert list(b.iter_pairs()) == []
+
+
+class TestBlockCollection:
+    def test_kind_mismatch_rejected(self):
+        dirty_block = Block("k", frozenset({1, 2}))
+        with pytest.raises(ValueError, match="kind"):
+            BlockCollection([dirty_block], is_clean_clean=True)
+
+    def test_aggregate_cardinality_sums_blocks(self):
+        blocks = [
+            Block("a", frozenset({0}), frozenset({5, 6})),
+            Block("b", frozenset({0, 1}), frozenset({5})),
+        ]
+        assert BlockCollection(blocks, True).aggregate_cardinality == 4
+
+    def test_profile_block_sets(self):
+        blocks = [
+            Block("a", frozenset({0}), frozenset({5})),
+            Block("b", frozenset({0}), frozenset({6})),
+        ]
+        bc = BlockCollection(blocks, True)
+        assert bc.profile_block_sets[0] == {0, 1}
+        assert bc.profile_block_sets[5] == {0}
+        assert bc.num_indexed_profiles == 3
+
+    def test_distinct_pairs_removes_redundancy(self):
+        blocks = [
+            Block("a", frozenset({0}), frozenset({5})),
+            Block("b", frozenset({0}), frozenset({5})),
+        ]
+        assert BlockCollection(blocks, True).distinct_pairs() == {(0, 5)}
+
+    def test_filter_blocks(self):
+        blocks = [
+            Block("tiny", frozenset({0}), frozenset({5})),
+            Block("big", frozenset({0, 1, 2}), frozenset({5, 6, 7})),
+        ]
+        bc = BlockCollection(blocks, True)
+        kept = bc.filter_blocks(lambda b: b.size <= 2)
+        assert [b.key for b in kept] == ["tiny"]
+
+    def test_sequence_protocol(self):
+        bc = BlockCollection([Block("a", frozenset({1, 2}))], False)
+        assert len(bc) == 1
+        assert bc[0].key == "a"
+
+
+class TestBuildBlocks:
+    def test_clean_clean_drops_one_sided_keys(self):
+        keyed = {"both": ({0}, {5}), "left_only": ({0}, set())}
+        bc = build_blocks(keyed, is_clean_clean=True)
+        assert [b.key for b in bc] == ["both"]
+
+    def test_dirty_drops_singletons(self):
+        keyed = {"pair": {0, 1}, "single": {2}}
+        bc = build_blocks(keyed, is_clean_clean=False)
+        assert [b.key for b in bc] == ["pair"]
+
+    def test_keys_sorted_for_determinism(self):
+        keyed = {"zz": {0, 1}, "aa": {2, 3}}
+        bc = build_blocks(keyed, is_clean_clean=False)
+        assert [b.key for b in bc] == ["aa", "zz"]

@@ -1,0 +1,47 @@
+"""Tests for Canopy Clustering blocking."""
+
+import pytest
+
+from repro.blocking.canopy import CanopyBlocking
+
+
+class TestCanopyBlocking:
+    def test_groups_similar_profiles(self, tiny_clean_clean):
+        blocks = CanopyBlocking(loose_threshold=0.3, tight_threshold=0.8,
+                                seed=1).build(tiny_clean_clean)
+        pairs = blocks.distinct_pairs()
+        # the exact-duplicate pair (alice carol, index 0 and 3) must co-occur
+        assert (0, 3) in pairs
+
+    def test_loose_threshold_controls_block_size(self, figure1_dirty):
+        tight = CanopyBlocking(loose_threshold=0.6, tight_threshold=0.9,
+                               seed=1).build(figure1_dirty)
+        loose = CanopyBlocking(loose_threshold=0.05, tight_threshold=0.9,
+                               seed=1).build(figure1_dirty)
+        assert loose.aggregate_cardinality >= tight.aggregate_cardinality
+
+    def test_clean_clean_blocks_split_sources(self, tiny_clean_clean):
+        blocks = CanopyBlocking(loose_threshold=0.1, seed=1).build(tiny_clean_clean)
+        offset = tiny_clean_clean.offset2
+        for block in blocks:
+            assert all(i < offset for i in block.left)
+            assert all(j >= offset for j in (block.right or ()))
+
+    def test_deterministic_given_seed(self, figure1_dirty):
+        a = CanopyBlocking(seed=7).build(figure1_dirty)
+        b = CanopyBlocking(seed=7).build(figure1_dirty)
+        assert [blk.profiles for blk in a] == [blk.profiles for blk in b]
+
+    def test_tight_threshold_one_keeps_all_seeds(self, figure1_dirty):
+        # with tight=1.0 nothing is removed from the pool: every profile
+        # seeds a canopy, so there are as many canopies as profiles that
+        # yield a block with >= 2 members
+        blocks = CanopyBlocking(loose_threshold=0.1, tight_threshold=1.0,
+                                seed=1).build(figure1_dirty)
+        assert len(blocks) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CanopyBlocking(loose_threshold=0.9, tight_threshold=0.5)
+        with pytest.raises(ValueError):
+            CanopyBlocking(loose_threshold=0.0)

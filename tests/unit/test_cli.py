@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_collection, load_ground_truth
+
+
+@pytest.fixture
+def generated(tmp_path):
+    """A small generated benchmark on disk."""
+    outdir = tmp_path / "data"
+    code = main(["generate", "--dataset", "prd", "--scale", "0.3",
+                 "--outdir", str(outdir)])
+    assert code == 0
+    return outdir
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "meta-blocking" in result.stdout
+
+    def test_no_command_shows_usage(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode != 0
+        assert "usage:" in result.stderr
+
+
+class TestGenerate:
+    def test_writes_clean_clean_files(self, generated):
+        assert (generated / "left.jsonl").exists()
+        assert (generated / "right.jsonl").exists()
+        assert (generated / "ground_truth.csv").exists()
+        left = load_collection(generated / "left.jsonl")
+        assert len(left) > 0
+
+    def test_dirty_dataset_has_single_file(self, tmp_path):
+        outdir = tmp_path / "dirty"
+        assert main(["generate", "--dataset", "census", "--scale", "0.2",
+                     "--outdir", str(outdir)]) == 0
+        assert (outdir / "left.jsonl").exists()
+        assert not (outdir / "right.jsonl").exists()
+        truth = load_ground_truth(outdir / "ground_truth.csv", clean_clean=False)
+        assert len(truth) > 0
+
+    def test_rejects_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "nope", "--outdir", str(tmp_path)])
+
+
+class TestRun:
+    def test_writes_candidate_pairs(self, generated, tmp_path, capsys):
+        output = tmp_path / "pairs.csv"
+        code = main(["run", "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--output", str(output)])
+        assert code == 0
+        with output.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["id1", "id2"]
+        assert len(rows) > 1
+        assert "candidate pairs" in capsys.readouterr().out
+
+    def test_missing_input_is_an_error_not_a_crash(self, tmp_path, capsys):
+        code = main(["run", "--left", str(tmp_path / "absent.jsonl"),
+                     "--output", str(tmp_path / "out.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_reports_quality(self, generated, capsys):
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PC=" in out and "PQ=" in out and "F1=" in out
+        pc = float(out.split("PC=")[1].split()[0])
+        assert pc > 0.8
+
+    def test_dirty_evaluation(self, tmp_path, capsys):
+        outdir = tmp_path / "dirty"
+        main(["generate", "--dataset", "census", "--scale", "0.2",
+              "--outdir", str(outdir)])
+        code = main(["evaluate", "--left", str(outdir / "left.jsonl"),
+                     "--ground-truth", str(outdir / "ground_truth.csv")])
+        assert code == 0
+        assert "PC=" in capsys.readouterr().out
+
+    def test_optional_pairs_output(self, generated, tmp_path):
+        output = tmp_path / "pairs.csv"
+        main(["evaluate",
+              "--left", str(generated / "left.jsonl"),
+              "--right", str(generated / "right.jsonl"),
+              "--ground-truth", str(generated / "ground_truth.csv"),
+              "--output", str(output)])
+        assert output.exists()
+
+    def test_config_flags_accepted(self, generated, capsys):
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--induction", "ac", "--alpha", "0.8", "--no-entropy",
+                     "--pruning-c", "3.0"])
+        assert code == 0

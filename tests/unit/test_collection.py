@@ -1,0 +1,76 @@
+"""Tests for repro.data.collection.EntityCollection."""
+
+import pytest
+
+from repro.data.collection import EntityCollection
+from repro.data.profile import EntityProfile
+
+
+def _profiles(n: int) -> list[EntityProfile]:
+    return [
+        EntityProfile.from_dict(f"p{i}", {"name": f"person {i}", "year": "1985"})
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_rejects_duplicate_ids(self):
+        p = EntityProfile.from_dict("dup", {"a": "x"})
+        with pytest.raises(ValueError, match="duplicate profile_id"):
+            EntityCollection([p, p], "bad")
+
+    def test_empty_collection_allowed(self):
+        assert len(EntityCollection([], "empty")) == 0
+
+
+class TestSequenceProtocol:
+    def test_len_and_iteration(self):
+        c = EntityCollection(_profiles(3), "c")
+        assert len(c) == 3
+        assert [p.profile_id for p in c] == ["p0", "p1", "p2"]
+
+    def test_getitem_by_position(self):
+        c = EntityCollection(_profiles(3), "c")
+        assert c[1].profile_id == "p1"
+
+    def test_contains_by_id_and_profile(self):
+        c = EntityCollection(_profiles(2), "c")
+        assert "p0" in c
+        assert c[0] in c
+        assert "missing" not in c
+
+
+class TestLookups:
+    def test_index_of(self):
+        c = EntityCollection(_profiles(3), "c")
+        assert c.index_of("p2") == 2
+
+    def test_get_by_id(self):
+        c = EntityCollection(_profiles(2), "c")
+        assert c.get("p1").profile_id == "p1"
+
+    def test_get_missing_raises(self):
+        c = EntityCollection(_profiles(1), "c")
+        with pytest.raises(KeyError):
+            c.get("zzz")
+
+
+class TestAggregates:
+    def test_attribute_names(self):
+        profiles = [
+            EntityProfile.from_dict("a", {"name": "x"}),
+            EntityProfile.from_dict("b", {"year": "1"}),
+        ]
+        assert EntityCollection(profiles, "c").attribute_names == {"name", "year"}
+
+    def test_num_name_value_pairs(self):
+        c = EntityCollection(_profiles(4), "c")
+        assert c.num_name_value_pairs == 8  # 2 pairs each
+
+    def test_values_of_collects_across_profiles(self):
+        c = EntityCollection(_profiles(2), "c")
+        assert c.values_of("year") == ["1985", "1985"]
+
+    def test_values_of_unknown_attribute(self):
+        c = EntityCollection(_profiles(1), "c")
+        assert c.values_of("ghost") == []

@@ -1,0 +1,80 @@
+"""Tests for BlastConfig validation and the Blast pipeline plumbing."""
+
+import pytest
+
+from repro.core import Blast, BlastConfig, prepare_blocks
+from repro.graph import WeightingScheme
+from repro.metrics import evaluate_blocks
+
+
+class TestBlastConfig:
+    def test_defaults_match_the_paper(self):
+        config = BlastConfig()
+        assert config.alpha == 0.9
+        assert config.pruning_c == 2.0
+        assert config.pruning_d == 2.0
+        assert config.filtering_ratio == 0.8
+        assert config.purging_ratio == 0.5
+        assert config.weighting is WeightingScheme.CHI_H
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlastConfig(induction="magic")
+        with pytest.raises(ValueError):
+            BlastConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            BlastConfig(lsh_threshold=1.0)
+        with pytest.raises(ValueError):
+            BlastConfig(pruning_c=0.0)
+
+    def test_frozen(self):
+        config = BlastConfig()
+        with pytest.raises(AttributeError):
+            config.alpha = 0.5  # type: ignore[misc]
+
+
+class TestBlastPipeline:
+    def test_phases_produce_consistent_result(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        assert set(result.phase_seconds) == {"schema", "blocking", "metablocking"}
+        assert result.overhead_seconds >= 0
+        # final blocks are single-comparison pairs
+        assert result.blocks.aggregate_cardinality == len(result.blocks)
+
+    def test_partitioning_aligns_tiny_schema(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        part = result.partitioning
+        assert part.cluster_of(0, "name") == part.cluster_of(1, "fullname") != 0
+        assert part.cluster_of(0, "city") == part.cluster_of(1, "town") != 0
+
+    def test_finds_the_matches(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        quality = evaluate_blocks(result.blocks, tiny_clean_clean)
+        assert quality.pair_completeness == 1.0
+
+    def test_ac_induction_also_works(self, tiny_clean_clean):
+        result = Blast(BlastConfig(induction="ac")).run(tiny_clean_clean)
+        assert evaluate_blocks(result.blocks, tiny_clean_clean).pair_completeness == 1.0
+
+    def test_dirty_mode(self, figure1_dirty):
+        result = Blast().run(figure1_dirty)
+        quality = evaluate_blocks(result.blocks, figure1_dirty)
+        assert quality.pair_completeness == 1.0
+
+    def test_entropy_off_still_runs(self, tiny_clean_clean):
+        result = Blast(BlastConfig(use_entropy=False)).run(tiny_clean_clean)
+        assert evaluate_blocks(result.blocks, tiny_clean_clean).pair_completeness > 0
+
+
+class TestPrepareBlocks:
+    def test_plain_token_blocking_baseline(self, tiny_clean_clean):
+        blocks = prepare_blocks(tiny_clean_clean)
+        assert blocks.aggregate_cardinality > 0
+
+    def test_partitioning_reduces_comparisons(self, figure1_clean_clean):
+        from repro.core import Blast
+
+        partitioning = Blast().extract_loose_schema(figure1_clean_clean)
+        plain = prepare_blocks(figure1_clean_clean)
+        aware = prepare_blocks(figure1_clean_clean, partitioning)
+        assert aware.aggregate_cardinality <= plain.aggregate_cardinality

@@ -1,0 +1,69 @@
+"""Tests for contingency tables and the chi-squared statistic."""
+
+import pytest
+
+from repro.graph.contingency import ContingencyTable, chi_squared
+
+
+class TestConstruction:
+    def test_table_1_example(self):
+        # Table 1 of the paper: p1/p3 over the Figure 1b blocks.
+        # n11=4 shared; |B_p1|=6, |B_p3|=7, |B|=12.
+        t = ContingencyTable.from_counts(
+            shared=4, blocks_u=6, blocks_v=7, total_blocks=12
+        )
+        assert (t.n11, t.n12, t.n21, t.n22) == (4, 2, 3, 3)
+        assert t.row_totals == (6, 6)
+        assert t.col_totals == (7, 5)
+        assert t.total == 12
+
+    def test_inconsistent_shared_rejected(self):
+        with pytest.raises(ValueError, match="shared"):
+            ContingencyTable.from_counts(5, 3, 10, 20)
+
+    def test_inconsistent_total_rejected(self):
+        with pytest.raises(ValueError, match="total"):
+            ContingencyTable.from_counts(1, 5, 5, 6)
+
+
+class TestExpectedCounts:
+    def test_margins_preserved(self):
+        t = ContingencyTable.from_counts(4, 6, 7, 12)
+        e11, e12, e21, e22 = t.expected()
+        assert e11 + e12 == pytest.approx(t.row_totals[0])
+        assert e11 + e21 == pytest.approx(t.col_totals[0])
+        assert e11 + e12 + e21 + e22 == pytest.approx(t.total)
+
+    def test_independence_formula(self):
+        t = ContingencyTable.from_counts(4, 6, 7, 12)
+        assert t.expected()[0] == pytest.approx(6 * 7 / 12)
+
+
+class TestChiSquared:
+    def test_nonnegative(self):
+        assert chi_squared(4, 6, 7, 12) >= 0.0
+
+    def test_zero_under_exact_independence(self):
+        # P(u)=1/2, P(v)=1/2, joint 1/4 of 40 blocks: perfectly independent.
+        assert chi_squared(10, 20, 20, 40) == pytest.approx(0.0)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        t = ContingencyTable.from_counts(5, 9, 8, 30)
+        observed = [[t.n11, t.n12], [t.n21, t.n22]]
+        expected, _ = scipy_stats.chi2_contingency(observed, correction=False)[:2]
+        assert t.chi_squared() == pytest.approx(expected)
+
+    def test_stronger_association_scores_higher(self):
+        weak = chi_squared(3, 10, 10, 40)
+        strong = chi_squared(9, 10, 10, 40)
+        assert strong > weak
+
+    def test_empty_table(self):
+        t = ContingencyTable(0, 0, 0, 0)
+        assert t.chi_squared() == 0.0
+
+    def test_saturated_co_occurrence(self):
+        # u and v appear together in every one of their blocks.
+        value = chi_squared(6, 6, 6, 20)
+        assert value > chi_squared(3, 6, 6, 20)

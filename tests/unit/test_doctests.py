@@ -1,0 +1,29 @@
+"""Execute the doctests embedded in the library's docstrings.
+
+Docstring examples are part of the public documentation; running them here
+keeps them from rotting.  Modules are resolved through importlib because
+several module names are shadowed by same-named functions re-exported in
+their package ``__init__`` (e.g. ``repro.utils.tokenize``).
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = (
+    "repro",  # the package-level quickstart example
+    "repro.utils.tokenize",
+    "repro.utils.timer",
+    "repro.data.profile",
+    "repro.graph.contingency",
+    "repro.lsh.scurve",
+)
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module_name} has no doctests to run"

@@ -1,0 +1,137 @@
+"""Tests for the synthetic dataset generator machinery."""
+
+import pytest
+
+from repro.datasets.generator import (
+    FieldSpec,
+    NoiseModel,
+    SourceSchema,
+    make_clean_clean_dataset,
+    make_dirty_dataset,
+    sample_entities,
+)
+from repro.datasets.vocabulary import make_vocabulary
+from repro.utils.rng import make_rng
+
+FIELDS = (
+    FieldSpec("name", lambda rng, v: v.pick(rng, v.first_names)),
+    FieldSpec("year", lambda rng, v: str(int(rng.integers(1980, 1990)))),
+    FieldSpec("rare", lambda rng, v: "rareword", present_prob=0.3),
+)
+
+SCHEMA_A = SourceSchema("A", {"name": ("name",), "year": ("year",),
+                              "rare": ("rare",)}, noise=NoiseModel(0, 0, 0, 0))
+SCHEMA_B = SourceSchema("B", {"fullname": ("name",), "when": ("year",)},
+                        noise=NoiseModel(0, 0, 0, 0))
+
+
+class TestNoiseModel:
+    def test_zero_noise_is_identity(self):
+        noise = NoiseModel(0, 0, 0, 0)
+        rng = make_rng(1)
+        assert noise.corrupt(rng, "john abram") == "john abram"
+
+    def test_missing_prob_one_always_drops(self):
+        noise = NoiseModel(0, 0, 0, missing_prob=1.0)
+        assert noise.corrupt(make_rng(1), "anything") is None
+
+    def test_numeric_truncation(self):
+        noise = NoiseModel(0, 0, 0, 0, numeric_truncate_prob=1.0)
+        assert noise.corrupt(make_rng(1), "1985") == "85"
+        assert noise.corrupt(make_rng(1), "word") == "word"
+
+    def test_token_drop_reduces_tokens(self):
+        noise = NoiseModel(0, token_drop_prob=1.0, abbreviate_prob=0,
+                           missing_prob=0)
+        out = noise.corrupt(make_rng(1), "one two three")
+        assert len(out.split()) == 2
+
+    def test_abbreviation_shortens_a_token(self):
+        noise = NoiseModel(0, 0, abbreviate_prob=1.0, missing_prob=0)
+        out = noise.corrupt(make_rng(3), "jonathan smithson")
+        assert any(token.endswith(".") for token in out.split())
+
+    def test_typo_changes_value(self):
+        noise = NoiseModel(typo_prob=1.0, token_drop_prob=0,
+                           abbreviate_prob=0, missing_prob=0)
+        original = "abcdefgh"
+        corrupted = {noise.corrupt(make_rng(i), original) for i in range(10)}
+        assert any(value != original for value in corrupted)
+
+
+class TestSampleEntities:
+    def test_present_prob_controls_sparsity(self):
+        entities = sample_entities(FIELDS, 500, make_rng(1), make_vocabulary())
+        with_rare = sum(1 for e in entities if "rare" in e)
+        assert 0.2 < with_rare / 500 < 0.4
+        assert all("name" in e and "year" in e for e in entities)
+
+
+class TestSourceSchemaRender:
+    def test_renders_renamed_attributes(self):
+        entity = {"name": "ann", "year": "1985"}
+        profile = SCHEMA_B.render("x", entity, make_rng(1))
+        assert profile.values("fullname") == ["ann"]
+        assert profile.values("when") == ["1985"]
+
+    def test_merging_fields(self):
+        schema = SourceSchema("M", {"combined": ("name", "year")},
+                              noise=NoiseModel(0, 0, 0, 0))
+        profile = schema.render("x", {"name": "ann", "year": "1985"}, make_rng(1))
+        assert profile.values("combined") == ["ann 1985"]
+
+    def test_absent_fields_produce_no_attribute(self):
+        profile = SCHEMA_A.render("x", {"name": "ann", "year": "1985"}, make_rng(1))
+        assert "rare" not in profile.attribute_names
+
+
+class TestCleanCleanDataset:
+    def test_sizes_and_overlap(self):
+        ds = make_clean_clean_dataset(
+            "t", FIELDS, SCHEMA_A, SCHEMA_B,
+            size1=40, size2=30, matches=10, seed=5,
+        )
+        assert len(ds.collection1) == 40
+        assert len(ds.collection2) == 30
+        assert ds.num_duplicates == 10
+
+    def test_matching_profiles_share_underlying_entity(self):
+        ds = make_clean_clean_dataset(
+            "t", FIELDS, SCHEMA_A, SCHEMA_B,
+            size1=40, size2=30, matches=10, seed=5,
+        )
+        for i, j in ds.truth_pairs:
+            left, right = ds.profile(i), ds.profile(j)
+            # noiseless schemas: the name value must be identical
+            assert left.values("name") == right.values("fullname")
+
+    def test_deterministic_given_seed(self):
+        a = make_clean_clean_dataset("t", FIELDS, SCHEMA_A, SCHEMA_B,
+                                     size1=20, size2=20, matches=5, seed=9)
+        b = make_clean_clean_dataset("t", FIELDS, SCHEMA_A, SCHEMA_B,
+                                     size1=20, size2=20, matches=5, seed=9)
+        assert [p.attributes for p in a.collection1] == \
+            [p.attributes for p in b.collection1]
+
+    def test_too_many_matches_rejected(self):
+        with pytest.raises(ValueError, match="matches"):
+            make_clean_clean_dataset("t", FIELDS, SCHEMA_A, SCHEMA_B,
+                                     size1=5, size2=5, matches=6, seed=1)
+
+
+class TestDirtyDataset:
+    def test_cluster_sizes_define_duplicates(self):
+        ds = make_dirty_dataset("t", FIELDS, SCHEMA_A,
+                                cluster_sizes=[3, 2, 1], seed=4)
+        assert ds.num_profiles == 6
+        assert ds.num_duplicates == 3 + 1  # C(3,2) + C(2,2)
+
+    def test_profiles_shuffled(self):
+        ds = make_dirty_dataset("t", FIELDS, SCHEMA_A,
+                                cluster_sizes=[2] * 20, seed=4)
+        ids = [p.profile_id for p in ds.collection1]
+        assert ids != sorted(ids, key=lambda x: int(x[1:]))
+
+    def test_invalid_cluster_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_dirty_dataset("t", FIELDS, SCHEMA_A, cluster_sizes=[0], seed=1)

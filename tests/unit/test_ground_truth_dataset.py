@@ -1,0 +1,99 @@
+"""Tests for GroundTruth and ERDataset."""
+
+import pytest
+
+from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
+
+
+def _collection(prefix: str, n: int) -> EntityCollection:
+    return EntityCollection(
+        [EntityProfile.from_dict(f"{prefix}{i}", {"v": f"w{i}"}) for i in range(n)],
+        prefix,
+    )
+
+
+class TestGroundTruth:
+    def test_clean_clean_pairs_are_ordered(self):
+        gt = GroundTruth([("a", "b")], clean_clean=True)
+        assert ("a", "b") in gt
+        assert ("b", "a") not in gt
+
+    def test_dirty_pairs_are_unordered(self):
+        gt = GroundTruth([("b", "a")], clean_clean=False)
+        assert ("a", "b") in gt and ("b", "a") in gt
+
+    def test_dirty_rejects_self_match(self):
+        with pytest.raises(ValueError, match="self-match"):
+            GroundTruth([("a", "a")], clean_clean=False)
+
+    def test_deduplicates(self):
+        gt = GroundTruth([("a", "b"), ("b", "a")], clean_clean=False)
+        assert len(gt) == 1
+
+    def test_contains_non_pair(self):
+        gt = GroundTruth([("a", "b")])
+        assert "ab" not in gt
+
+
+class TestERDatasetCleanClean:
+    def test_global_indexing(self):
+        ds = ERDataset(_collection("a", 3), _collection("b", 2),
+                       GroundTruth([("a0", "b0")]), "t")
+        assert ds.num_profiles == 5
+        assert ds.offset2 == 3
+        assert ds.profile(0).profile_id == "a0"
+        assert ds.profile(3).profile_id == "b0"
+        assert ds.source_of(2) == 0
+        assert ds.source_of(3) == 1
+
+    def test_truth_pairs_are_global_indices(self):
+        ds = ERDataset(_collection("a", 3), _collection("b", 2),
+                       GroundTruth([("a1", "b1")]), "t")
+        assert ds.truth_pairs == frozenset({(1, 4)})
+
+    def test_unresolvable_truth_id_raises(self):
+        ds = ERDataset(_collection("a", 2), _collection("b", 2),
+                       GroundTruth([("a0", "zzz")]), "t")
+        with pytest.raises(KeyError):
+            _ = ds.truth_pairs
+
+    def test_brute_force_comparisons(self):
+        ds = ERDataset(_collection("a", 3), _collection("b", 4),
+                       GroundTruth([]), "t")
+        assert ds.brute_force_comparisons() == 12
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ERDataset(_collection("a", 2), _collection("b", 2),
+                      GroundTruth([], clean_clean=False), "t")
+
+    def test_iter_profiles_covers_both_sources(self):
+        ds = ERDataset(_collection("a", 2), _collection("b", 2),
+                       GroundTruth([]), "t")
+        indices = [i for i, _ in ds.iter_profiles()]
+        assert indices == [0, 1, 2, 3]
+
+
+class TestERDatasetDirty:
+    def test_single_collection(self):
+        ds = ERDataset(_collection("d", 4), None,
+                       GroundTruth([("d0", "d3")], clean_clean=False), "t")
+        assert not ds.is_clean_clean
+        assert ds.num_profiles == 4
+        assert ds.truth_pairs == frozenset({(0, 3)})
+
+    def test_brute_force_comparisons(self):
+        ds = ERDataset(_collection("d", 5), None,
+                       GroundTruth([], clean_clean=False), "t")
+        assert ds.brute_force_comparisons() == 10
+
+    def test_profile_out_of_range(self):
+        ds = ERDataset(_collection("d", 2), None,
+                       GroundTruth([], clean_clean=False), "t")
+        with pytest.raises(IndexError):
+            ds.profile(5)
+
+    def test_truth_pairs_canonicalized(self):
+        ds = ERDataset(_collection("d", 3), None,
+                       GroundTruth([("d2", "d0")], clean_clean=False), "t")
+        assert ds.truth_pairs == frozenset({(0, 2)})

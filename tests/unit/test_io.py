@@ -1,0 +1,104 @@
+"""Tests for repro.data.io round-trips and error handling."""
+
+import pytest
+
+from repro.data import EntityCollection, EntityProfile, GroundTruth
+from repro.data.io import (
+    load_collection,
+    load_csv_collection,
+    load_ground_truth,
+    save_collection,
+    save_ground_truth,
+)
+
+
+@pytest.fixture
+def collection() -> EntityCollection:
+    return EntityCollection(
+        [
+            EntityProfile("p1", (("name", "John Abram"), ("name", "J. Abram"))),
+            EntityProfile("p2", (("city", "New York, NY"),)),
+        ],
+        "sample",
+    )
+
+
+class TestJsonLines:
+    def test_round_trip(self, collection, tmp_path):
+        path = tmp_path / "c.jsonl"
+        save_collection(collection, path)
+        loaded = load_collection(path, name="sample")
+        assert len(loaded) == 2
+        assert loaded.get("p1").attributes == collection.get("p1").attributes
+
+    def test_unicode_preserved(self, tmp_path):
+        c = EntityCollection([EntityProfile("p", (("name", "José Müller"),))], "u")
+        path = tmp_path / "u.jsonl"
+        save_collection(c, path)
+        assert load_collection(path).get("p").values("name") == ["José Müller"]
+
+    def test_blank_lines_skipped(self, collection, tmp_path):
+        path = tmp_path / "c.jsonl"
+        save_collection(collection, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_collection(path)) == 2
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "p1"}\n')  # missing attributes
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_collection(path)
+
+    def test_name_defaults_to_stem(self, collection, tmp_path):
+        path = tmp_path / "stemname.jsonl"
+        save_collection(collection, path)
+        assert load_collection(path).name == "stemname"
+
+
+class TestGroundTruthCsv:
+    def test_round_trip_clean_clean(self, tmp_path):
+        gt = GroundTruth([("a1", "b1"), ("a2", "b2")])
+        path = tmp_path / "gt.csv"
+        save_ground_truth(gt, path)
+        loaded = load_ground_truth(path, clean_clean=True)
+        assert set(loaded) == set(gt)
+
+    def test_round_trip_dirty(self, tmp_path):
+        gt = GroundTruth([("z", "a")], clean_clean=False)
+        path = tmp_path / "gt.csv"
+        save_ground_truth(gt, path)
+        loaded = load_ground_truth(path, clean_clean=False)
+        assert ("a", "z") in loaded
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_ground_truth(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id1,id2\na,b,c\n")
+        with pytest.raises(ValueError, match="2 columns"):
+            load_ground_truth(path)
+
+
+class TestCsvCollection:
+    def test_loads_attributes_from_columns(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("id,name,year\n1,Ann,1985\n2,Bob,\n")
+        c = load_csv_collection(path)
+        assert c.get("1").values("name") == ["Ann"]
+        # empty cell -> missing attribute
+        assert c.get("2").attribute_names == {"name"}
+
+    def test_missing_id_column_rejected(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("name\nAnn\n")
+        with pytest.raises(ValueError, match="id"):
+            load_csv_collection(path)
+
+    def test_custom_id_column(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("pk,name\nx1,Ann\n")
+        assert load_csv_collection(path, id_column="pk").get("x1")

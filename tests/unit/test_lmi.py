@@ -1,0 +1,108 @@
+"""Tests for Loose attribute-Match Induction (Algorithm 1)."""
+
+import pytest
+
+from repro.schema.attribute_profile import AttributeProfile
+from repro.schema.lmi import LooseAttributeMatchInduction
+
+
+def _profile(source: int, name: str, tokens: set[str]) -> AttributeProfile:
+    return AttributeProfile(source, name, frozenset(tokens))
+
+
+class TestClustering:
+    def test_identical_attributes_cluster(self):
+        p1 = [_profile(0, "name", {"john", "ellen", "smith"})]
+        p2 = [_profile(1, "fullname", {"john", "ellen", "smith"})]
+        part = LooseAttributeMatchInduction().induce(p1, p2)
+        assert part.cluster_of(0, "name") == part.cluster_of(1, "fullname") != 0
+
+    def test_dissimilar_attributes_fall_to_glue(self):
+        p1 = [_profile(0, "name", {"john", "ellen"})]
+        p2 = [_profile(1, "year", {"1985", "1990"})]
+        part = LooseAttributeMatchInduction().induce(p1, p2)
+        assert part.cluster_of(0, "name") == 0
+        assert part.cluster_of(1, "year") == 0
+
+    def test_mutuality_required(self):
+        # b is a's best match, but b's best match is c (by a wide margin):
+        # with a strict alpha, a<->b is not mutual and no cluster forms
+        # containing a.
+        a = _profile(0, "a", {"x", "y", "q1", "q2", "q3", "q4"})
+        b = _profile(1, "b", {"x", "y", "z", "w"})
+        c = _profile(0, "c", {"x", "y", "z", "w"})
+        part = LooseAttributeMatchInduction(alpha=0.99).induce([a, c], [b])
+        assert part.cluster_of(0, "c") == part.cluster_of(1, "b") != 0
+        assert part.cluster_of(0, "a") == 0
+
+    def test_alpha_relaxes_candidates(self):
+        # same topology, forgiving alpha: a joins the component.
+        # sim(a,b) = 2/8 = 0.25, sim(c,b) = 1.0 -> a is a candidate of b
+        # only when 0.25 >= alpha * 1.0, i.e. alpha <= 0.25.
+        a = _profile(0, "a", {"x", "y", "q1", "q2", "q3", "q4"})
+        b = _profile(1, "b", {"x", "y", "z", "w"})
+        c = _profile(0, "c", {"x", "y", "z", "w"})
+        part = LooseAttributeMatchInduction(alpha=0.2).induce([a, c], [b])
+        assert part.cluster_of(0, "a") == part.cluster_of(1, "b")
+
+    def test_zero_similarity_never_links(self):
+        p1 = [_profile(0, "a", {"x"})]
+        p2 = [_profile(1, "b", {"y"})]
+        part = LooseAttributeMatchInduction(alpha=0.1).induce(p1, p2)
+        assert part.num_clusters == 1  # glue only
+
+    def test_glue_disabled(self):
+        p1 = [_profile(0, "a", {"x"})]
+        p2 = [_profile(1, "b", {"y"})]
+        part = LooseAttributeMatchInduction(glue_cluster=False).induce(p1, p2)
+        assert part.num_clusters == 0
+        assert part.cluster_of(0, "a") is None
+
+
+class TestDirtyMode:
+    def test_within_source_pairs(self):
+        profiles = [
+            _profile(0, "first", {"john", "ellen", "ann"}),
+            _profile(0, "nick", {"john", "ellen", "ann"}),
+            _profile(0, "year", {"1985"}),
+        ]
+        part = LooseAttributeMatchInduction().induce(profiles, None)
+        assert part.cluster_of(0, "first") == part.cluster_of(0, "nick") != 0
+        assert part.cluster_of(0, "year") == 0
+
+
+class TestCandidatePairs:
+    def test_restricts_scored_pairs(self):
+        name1 = _profile(0, "name1", {"a", "b", "c"})
+        name2 = _profile(1, "name2", {"a", "b", "c"})
+        street1 = _profile(0, "street1", {"a", "b", "c"})
+        # without candidates street1 would also cluster with name2; the
+        # candidate list excludes it.
+        part = LooseAttributeMatchInduction().induce(
+            [name1, street1], [name2],
+            candidate_pairs=[((0, "name1"), (1, "name2"))],
+        )
+        assert part.cluster_of(0, "name1") == part.cluster_of(1, "name2") != 0
+        assert part.cluster_of(0, "street1") == 0
+
+    def test_unknown_refs_in_candidates_ignored(self):
+        p1 = [_profile(0, "a", {"x"})]
+        p2 = [_profile(1, "b", {"x"})]
+        part = LooseAttributeMatchInduction().induce(
+            p1, p2,
+            candidate_pairs=[((0, "a"), (1, "b")), ((0, "ghost"), (1, "b"))],
+        )
+        assert part.cluster_of(0, "a") == part.cluster_of(1, "b") != 0
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            LooseAttributeMatchInduction(alpha=0.0)
+        with pytest.raises(ValueError):
+            LooseAttributeMatchInduction(alpha=1.5)
+
+    def test_duplicate_refs_rejected(self):
+        p = _profile(0, "a", {"x"})
+        with pytest.raises(ValueError, match="duplicate"):
+            LooseAttributeMatchInduction().induce([p], [p])

@@ -1,0 +1,63 @@
+"""Tests for the matching substrate."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.graph import blocks_from_edges
+from repro.matching import JaccardMatcher, resolve_entities
+
+
+class TestJaccardMatcher:
+    def test_similarity_of_identical_profiles(self, figure1_clean_clean):
+        matcher = JaccardMatcher()
+        assert matcher.similarity(figure1_clean_clean, 0, 0) == 1.0
+
+    def test_matching_pair_scores_higher_than_non_matching(
+        self, figure1_clean_clean
+    ):
+        matcher = JaccardMatcher()
+        match = matcher.similarity(figure1_clean_clean, 1, 3)  # p2-p4
+        non_match = matcher.similarity(figure1_clean_clean, 0, 3)  # p1-p4
+        assert match > non_match
+
+    def test_execute_deduplicates_comparisons(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        result = JaccardMatcher(threshold=0.2).execute(blocks, figure1_clean_clean)
+        assert result.comparisons_executed == len(blocks.distinct_pairs())
+        assert result.comparisons_executed < blocks.aggregate_cardinality
+
+    def test_precision_recall_against_truth(self, figure1_clean_clean):
+        blocks = blocks_from_edges([(0, 2), (1, 3)], True)  # exactly the truth
+        result = JaccardMatcher(threshold=0.0).execute(blocks, figure1_clean_clean)
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+        assert result.f1 == 1.0
+
+    def test_high_threshold_finds_nothing(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        result = JaccardMatcher(threshold=0.99).execute(blocks, figure1_clean_clean)
+        assert result.matches == frozenset()
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_token_cache_consistency(self, figure1_clean_clean):
+        matcher = JaccardMatcher()
+        first = matcher.similarity(figure1_clean_clean, 0, 2)
+        second = matcher.similarity(figure1_clean_clean, 0, 2)
+        assert first == second
+
+
+class TestResolveEntities:
+    def test_transitive_grouping(self):
+        entities = resolve_entities([(0, 1), (1, 2)])
+        assert {frozenset(e) for e in entities} == {frozenset({0, 1, 2})}
+
+    def test_unmatched_profiles_are_singletons(self):
+        entities = resolve_entities([(0, 1)], all_profiles=[0, 1, 2, 3])
+        assert {frozenset(e) for e in entities} == {
+            frozenset({0, 1}), frozenset({2}), frozenset({3})
+        }
+
+    def test_no_matches(self):
+        entities = resolve_entities([], all_profiles=[5, 6])
+        assert len(entities) == 2

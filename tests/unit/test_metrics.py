@@ -1,0 +1,79 @@
+"""Tests for PC / PQ / F1 and the delta metrics."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blocking.base import Block, BlockCollection
+from repro.metrics import delta_pc, delta_pq, evaluate_blocks, f1_score
+from repro.metrics.quality import BlockingQuality
+
+
+class TestEvaluateBlocks:
+    def test_figure1_baseline(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        q = evaluate_blocks(blocks, figure1_clean_clean)
+        assert q.pair_completeness == 1.0  # both matches co-occur
+        assert q.detected_duplicates == 2
+        assert q.comparisons == blocks.aggregate_cardinality
+        assert q.pair_quality == pytest.approx(2 / q.comparisons)
+
+    def test_missing_match_lowers_pc(self, figure1_clean_clean):
+        # keep only the p1-p3 comparison
+        blocks = BlockCollection(
+            [Block("only", frozenset({0}), frozenset({2}))], True
+        )
+        q = evaluate_blocks(blocks, figure1_clean_clean)
+        assert q.pair_completeness == 0.5
+        assert q.pair_quality == 1.0
+
+    def test_pq_charges_for_redundancy(self, figure1_clean_clean):
+        once = BlockCollection([Block("a", frozenset({0}), frozenset({2}))], True)
+        twice = BlockCollection(
+            [
+                Block("a", frozenset({0}), frozenset({2})),
+                Block("b", frozenset({0}), frozenset({2})),
+            ],
+            True,
+        )
+        assert evaluate_blocks(twice, figure1_clean_clean).pair_quality == pytest.approx(
+            evaluate_blocks(once, figure1_clean_clean).pair_quality / 2
+        )
+
+    def test_empty_collection(self, figure1_clean_clean):
+        q = evaluate_blocks(BlockCollection([], True), figure1_clean_clean)
+        assert q.pair_completeness == 0.0
+        assert q.pair_quality == 0.0
+        assert q.f1 == 0.0
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_property_on_quality_object(self):
+        q = BlockingQuality(0.8, 0.2, 4, 5, 20, 3)
+        assert q.f1 == pytest.approx(f1_score(0.8, 0.2))
+
+
+class TestDeltas:
+    def _quality(self, pc: float, pq: float) -> BlockingQuality:
+        return BlockingQuality(pc, pq, 0, 0, 0, 0)
+
+    def test_delta_pc_sign_convention(self):
+        base, other = self._quality(0.8, 0.1), self._quality(0.88, 0.1)
+        assert delta_pc(base, other) == pytest.approx(0.1)
+        assert delta_pc(other, base) == pytest.approx(-0.0909, abs=1e-3)
+
+    def test_delta_pq(self):
+        base, other = self._quality(0.9, 0.01), self._quality(0.9, 0.05)
+        assert delta_pq(base, other) == pytest.approx(4.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            delta_pc(self._quality(0.0, 0.1), self._quality(0.5, 0.1))
+        with pytest.raises(ValueError):
+            delta_pq(self._quality(0.5, 0.0), self._quality(0.5, 0.1))

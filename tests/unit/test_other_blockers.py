@@ -1,0 +1,103 @@
+"""Tests for Standard, Q-grams and Suffix-Array blocking."""
+
+import pytest
+
+from repro.blocking import QGramsBlocking, StandardBlocking, SuffixArrayBlocking
+
+
+class TestStandardBlocking:
+    def test_value_mode_keys_whole_values(self, tiny_clean_clean):
+        sb = StandardBlocking({"name": "fullname"}, key_mode="value")
+        blocks = sb.build(tiny_clean_clean)
+        by_key = {b.key: b for b in blocks}
+        # exact value match: only "alice carol" pairs up across sources
+        assert by_key["alice carol@0"].profiles == {0, 3}
+        assert len(blocks) == 1
+
+    def test_token_mode_is_finer(self, tiny_clean_clean):
+        sb = StandardBlocking({"name": "fullname"}, key_mode="token")
+        keys = {b.key for b in sb.build(tiny_clean_clean)}
+        # "bob dylan" vs "bob dilan": token mode still links on "bob"
+        assert "bob@0" in keys
+
+    def test_multiple_aligned_attributes_get_distinct_groups(self, tiny_clean_clean):
+        sb = StandardBlocking({"name": "fullname", "city": "town"}, key_mode="token")
+        keys = {b.key for b in sb.build(tiny_clean_clean)}
+        assert "rome@0" in keys or "rome@1" in keys
+        groups = {key.rsplit("@", 1)[1] for key in keys}
+        assert groups == {"0", "1"}
+
+    def test_tokens_do_not_cross_attribute_groups(self, figure1_clean_clean):
+        # Align names only: "abram" from p2's mail must not block with
+        # p3's name2 "Abram" because mail is not aligned.
+        sb = StandardBlocking({"Name": "name2"}, key_mode="token")
+        blocks = sb.build(figure1_clean_clean)
+        abram = next(b for b in blocks if b.key.startswith("abram"))
+        assert abram.profiles == {0, 2}
+
+    def test_rejects_empty_alignment(self):
+        with pytest.raises(ValueError, match="alignment"):
+            StandardBlocking({})
+
+    def test_rejects_unknown_key_mode(self):
+        with pytest.raises(ValueError, match="key_mode"):
+            StandardBlocking({"a": "b"}, key_mode="chars")
+
+    def test_for_dirty_constructor(self, figure1_dirty):
+        sb = StandardBlocking.for_dirty(["year"], key_mode="token")
+        blocks = sb.build(figure1_dirty)
+        # p2 (year=85) and p3 (birth year=85): different attribute names,
+        # only "year" is aligned, so just p1/p2 could collide on "year".
+        keys = {b.key for b in blocks}
+        assert all(k.endswith("@0") for k in keys)
+
+
+class TestQGramsBlocking:
+    def test_trigram_keys(self, tiny_clean_clean):
+        blocks = QGramsBlocking(q=3).build(tiny_clean_clean)
+        keys = {b.key for b in blocks}
+        assert "ali" in keys  # from "alice"
+
+    def test_tolerates_typos(self, tiny_clean_clean):
+        # dylan vs dilan share the trigram "lan": q-grams still block them.
+        blocks = QGramsBlocking(q=3).build(tiny_clean_clean)
+        lan = next(b for b in blocks if b.key == "lan")
+        assert {1, 4} <= lan.profiles
+
+    def test_more_comparisons_than_token_blocking(self, figure1_clean_clean):
+        from repro.blocking import TokenBlocking
+
+        q = QGramsBlocking(q=3).build(figure1_clean_clean)
+        t = TokenBlocking().build(figure1_clean_clean)
+        assert q.aggregate_cardinality >= t.aggregate_cardinality
+
+    def test_rejects_tiny_q(self):
+        with pytest.raises(ValueError):
+            QGramsBlocking(q=1)
+
+    def test_dirty_mode(self, figure1_dirty):
+        blocks = QGramsBlocking(q=4).build(figure1_dirty)
+        abram_grams = [b for b in blocks if b.key in ("abra", "bram")]
+        assert abram_grams
+        for b in abram_grams:
+            assert b.profiles == {0, 1, 2, 3}
+
+
+class TestSuffixArrayBlocking:
+    def test_suffix_keys(self, tiny_clean_clean):
+        blocks = SuffixArrayBlocking(min_suffix_length=4).build(tiny_clean_clean)
+        keys = {b.key for b in blocks}
+        assert "alice" in keys and "lice" in keys
+
+    def test_max_block_size_prunes_frequent_suffixes(self, figure1_dirty):
+        small = SuffixArrayBlocking(min_suffix_length=2, max_block_size=3)
+        blocks = small.build(figure1_dirty)
+        assert all(b.size <= 3 for b in blocks)
+        # "abram" suffixes index all 4 profiles -> dropped at cap 3
+        assert "abram" not in {b.key for b in blocks}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuffixArrayBlocking(min_suffix_length=0)
+        with pytest.raises(ValueError):
+            SuffixArrayBlocking(max_block_size=1)

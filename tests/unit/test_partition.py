@@ -1,0 +1,83 @@
+"""Tests for AttributePartitioning."""
+
+import pytest
+
+from repro.schema.partition import (
+    GLUE_CLUSTER_ID,
+    AttributePartitioning,
+    single_glue_partitioning,
+)
+
+
+class TestConstruction:
+    def test_cluster_ids_start_at_one(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=[(0, "c")])
+        assert p.cluster_ids == [GLUE_CLUSTER_ID, 1]
+
+    def test_rejects_overlapping_clusters(self):
+        with pytest.raises(ValueError, match="two clusters"):
+            AttributePartitioning([{(0, "a"), (1, "b")}, {(0, "a"), (1, "c")}])
+
+    def test_rejects_glue_overlapping_clusters(self):
+        with pytest.raises(ValueError, match="glue"):
+            AttributePartitioning([{(0, "a"), (1, "b")}], glue=[(0, "a")])
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError, match="empty"):
+            AttributePartitioning([set()])
+
+    def test_num_clusters_counts_glue(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=[(0, "c")])
+        assert p.num_clusters == 2
+        q = AttributePartitioning([{(0, "a"), (1, "b")}], glue=None)
+        assert q.num_clusters == 1
+
+
+class TestClusterLookup:
+    def test_assigned_attribute(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=[(0, "c")])
+        assert p.cluster_of(0, "a") == 1
+        assert p.cluster_of(1, "b") == 1
+        assert p.cluster_of(0, "c") == GLUE_CLUSTER_ID
+
+    def test_unknown_attribute_with_glue(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=[])
+        assert p.cluster_of(9, "never seen") == GLUE_CLUSTER_ID
+
+    def test_unknown_attribute_without_glue(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=None)
+        assert p.cluster_of(9, "never seen") is None
+
+    def test_source_disambiguates_same_name(self):
+        p = AttributePartitioning(
+            [{(0, "name"), (1, "title")}], glue=[(1, "name")]
+        )
+        assert p.cluster_of(0, "name") == 1
+        assert p.cluster_of(1, "name") == GLUE_CLUSTER_ID
+
+
+class TestEntropies:
+    def test_default_entropy_is_neutral(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}])
+        assert p.entropy_of(1) == 1.0
+
+    def test_with_entropies_is_a_copy(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=[(0, "c")])
+        q = p.with_entropies({1: 3.5, GLUE_CLUSTER_ID: 2.0})
+        assert q.entropy_of(1) == 3.5
+        assert q.entropy_of(GLUE_CLUSTER_ID) == 2.0
+        assert p.entropy_of(1) == 1.0  # original untouched
+        assert q.cluster_of(0, "a") == p.cluster_of(0, "a")
+
+    def test_with_entropies_preserves_no_glue(self):
+        p = AttributePartitioning([{(0, "a"), (1, "b")}], glue=None)
+        q = p.with_entropies({1: 2.0})
+        assert not q.has_glue
+
+
+class TestSingleGlue:
+    def test_everything_in_glue(self):
+        p = single_glue_partitioning([(0, "x"), (1, "y")])
+        assert p.cluster_of(0, "x") == GLUE_CLUSTER_ID
+        assert p.cluster_of(1, "y") == GLUE_CLUSTER_ID
+        assert p.num_clusters == 1

@@ -1,0 +1,72 @@
+"""Tests for repro.data.profile.EntityProfile."""
+
+import pytest
+
+from repro.data.profile import EntityProfile
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        p = EntityProfile("p1", (("name", "John"), ("name", "Jon")))
+        assert p.values("name") == ["John", "Jon"]
+
+    def test_from_dict_single_values(self):
+        p = EntityProfile.from_dict("p1", {"name": "John", "year": "1985"})
+        assert p.values("year") == ["1985"]
+
+    def test_from_dict_multi_values(self):
+        p = EntityProfile.from_dict("p1", {"author": ["ann", "bob"]})
+        assert p.values("author") == ["ann", "bob"]
+
+    def test_blank_values_dropped(self):
+        p = EntityProfile("p1", (("name", "  "), ("city", "rome")))
+        assert p.attribute_names == {"city"}
+
+    def test_values_coerced_to_str(self):
+        p = EntityProfile("p1", (("year", 1985),))  # type: ignore[arg-type]
+        assert p.values("year") == ["1985"]
+
+    def test_immutable(self):
+        p = EntityProfile("p1", (("a", "b"),))
+        with pytest.raises(AttributeError):
+            p.profile_id = "p2"  # type: ignore[misc]
+
+
+class TestAccessors:
+    def test_attribute_names(self):
+        p = EntityProfile.from_dict("p1", {"name": "x", "year": "1"})
+        assert p.attribute_names == {"name", "year"}
+
+    def test_values_of_missing_attribute(self):
+        p = EntityProfile.from_dict("p1", {"name": "x"})
+        assert p.values("nope") == []
+
+    def test_len_counts_pairs(self):
+        p = EntityProfile("p1", (("a", "1"), ("a", "2"), ("b", "3")))
+        assert len(p) == 3
+
+    def test_iter_pairs_preserves_order(self):
+        pairs = (("b", "2"), ("a", "1"))
+        p = EntityProfile("p1", pairs)
+        assert tuple(p.iter_pairs()) == pairs
+
+
+class TestTokenViews:
+    def test_tokens_unions_all_values(self):
+        p = EntityProfile.from_dict("p1", {"name": "John Abram", "addr": "Abram st"})
+        assert p.tokens() == {"john", "abram", "st"}
+
+    def test_tokens_by_attribute_separates_roles(self):
+        p = EntityProfile.from_dict("p1", {"name": "John Abram", "addr": "Abram st"})
+        by_attr = p.tokens_by_attribute()
+        assert by_attr["name"] == {"john", "abram"}
+        assert by_attr["addr"] == {"abram", "st"}
+
+    def test_text_concatenates_values(self):
+        p = EntityProfile("p1", (("a", "x y"), ("b", "z")))
+        assert p.text() == "x y z"
+
+    def test_empty_profile(self):
+        p = EntityProfile("p1", ())
+        assert p.tokens() == set()
+        assert p.text() == ""

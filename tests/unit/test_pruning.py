@@ -1,0 +1,176 @@
+"""Tests for the six pruning schemes."""
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.graph import BlockingGraph
+from repro.graph.pruning import (
+    BlastPruning,
+    CardinalityEdgePruning,
+    CardinalityNodePruning,
+    WeightEdgePruning,
+    WeightNodePruning,
+)
+
+
+def _star_graph() -> tuple[BlockingGraph, dict]:
+    """Node 0 connected to 1..4; one strong edge, three weak ones."""
+    blocks = [Block(f"k{i}", frozenset({0}), frozenset({10 + i})) for i in range(4)]
+    blocks.append(Block("extra", frozenset({0}), frozenset({10})))
+    blocks.append(Block("extra2", frozenset({0}), frozenset({10})))
+    graph = BlockingGraph(BlockCollection(blocks, True))
+    weights = {(0, 10): 3.0, (0, 11): 1.0, (0, 12): 1.0, (0, 13): 1.0}
+    return graph, weights
+
+
+class TestWEP:
+    def test_mean_threshold(self):
+        graph, weights = _star_graph()
+        kept = WeightEdgePruning().prune(graph, weights)
+        # mean = 1.5: only the 3.0 edge survives
+        assert kept == {(0, 10)}
+
+    def test_explicit_threshold(self):
+        graph, weights = _star_graph()
+        kept = WeightEdgePruning(threshold=0.5).prune(graph, weights)
+        assert kept == set(weights)
+
+    def test_empty_graph(self):
+        graph, _ = _star_graph()
+        assert WeightEdgePruning().prune(graph, {}) == set()
+
+
+class TestCEP:
+    def test_top_k(self):
+        graph, weights = _star_graph()
+        kept = CardinalityEdgePruning(k=1).prune(graph, weights)
+        assert kept == {(0, 10)}
+
+    def test_deterministic_tie_break(self):
+        graph, weights = _star_graph()
+        kept = CardinalityEdgePruning(k=2).prune(graph, weights)
+        assert kept == {(0, 10), (0, 11)}  # smallest edge id among the 1.0s
+
+    def test_default_k_is_half_block_assignments(self):
+        graph, weights = _star_graph()
+        kept = CardinalityEdgePruning().prune(graph, weights)
+        # sum |B_i| = 12 -> K = 6 >= all 4 edges
+        assert kept == set(weights)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CardinalityEdgePruning(k=0)
+
+
+class TestWNP:
+    def test_redefined_keeps_edge_clearing_either_threshold(self):
+        graph, weights = _star_graph()
+        kept = WeightNodePruning(reciprocal=False).prune(graph, weights)
+        # every leaf's only edge trivially clears its own mean -> all kept
+        assert kept == set(weights)
+
+    def test_reciprocal_requires_both(self):
+        graph, weights = _star_graph()
+        kept = WeightNodePruning(reciprocal=True).prune(graph, weights)
+        # node 0's mean is 1.5: the weak edges fail node 0's threshold
+        assert kept == {(0, 10)}
+
+    def test_reciprocal_subset_of_redefined(self):
+        graph, weights = _star_graph()
+        wnp1 = WeightNodePruning(reciprocal=False).prune(graph, weights)
+        wnp2 = WeightNodePruning(reciprocal=True).prune(graph, weights)
+        assert wnp2 <= wnp1
+
+
+class TestCNP:
+    def test_redefined_vs_reciprocal(self):
+        graph, weights = _star_graph()
+        cnp1 = CardinalityNodePruning(reciprocal=False, k=1).prune(graph, weights)
+        cnp2 = CardinalityNodePruning(reciprocal=True, k=1).prune(graph, weights)
+        # each leaf's top-1 is its own edge: redefined keeps all;
+        # node 0's top-1 is only (0, 10): reciprocal keeps just that one.
+        assert cnp1 == set(weights)
+        assert cnp2 == {(0, 10)}
+        assert cnp2 <= cnp1
+
+    def test_default_k_positive(self):
+        graph, weights = _star_graph()
+        kept = CardinalityNodePruning().prune(graph, weights)
+        assert kept  # never empties the graph
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CardinalityNodePruning(k=-1)
+
+
+class TestBlastPruning:
+    def test_keeps_edges_above_combined_max_fraction(self):
+        graph, weights = _star_graph()
+        kept = BlastPruning(c=2.0, d=2.0).prune(graph, weights)
+        # theta_0 = 1.5; each leaf i: theta = w/2.
+        # (0,10): threshold (1.5 + 1.5)/2 = 1.5 <= 3.0 -> kept
+        # (0,11): threshold (1.5 + 0.5)/2 = 1.0 <= 1.0 -> kept
+        assert kept == set(weights)
+
+    def test_larger_c_retains_more(self):
+        graph, weights = _star_graph()
+        strict = BlastPruning(c=1.0).prune(graph, weights)
+        lenient = BlastPruning(c=4.0).prune(graph, weights)
+        assert strict <= lenient
+
+    def test_local_max_edge_always_survives_with_defaults(self):
+        graph, weights = _star_graph()
+        kept = BlastPruning().prune(graph, weights)
+        assert (0, 10) in kept  # the global/local max
+
+    def test_insensitive_to_low_weight_edge_flooding(self):
+        """The Figure 6 scenario: adding weak edges must not change the
+        verdict on existing edges (unlike mean-based WNP)."""
+        base_blocks = [
+            Block("a", frozenset({0}), frozenset({10})),
+            Block("b", frozenset({0}), frozenset({11})),
+        ]
+        weights_small = {(0, 10): 4.0, (0, 11): 2.0}
+        graph_small = BlockingGraph(BlockCollection(base_blocks, True))
+        kept_small = BlastPruning().prune(graph_small, weights_small)
+
+        flooded_blocks = base_blocks + [
+            Block(f"w{i}", frozenset({0}), frozenset({20 + i})) for i in range(5)
+        ]
+        weights_flooded = dict(weights_small)
+        weights_flooded.update({(0, 20 + i): 0.1 for i in range(5)})
+        graph_flooded = BlockingGraph(BlockCollection(flooded_blocks, True))
+        kept_flooded = BlastPruning().prune(graph_flooded, weights_flooded)
+
+        assert ((0, 11) in kept_small) == ((0, 11) in kept_flooded)
+
+    def test_mean_based_wnp_is_sensitive_to_flooding(self):
+        """Contrast: reciprocal WNP changes its verdict when weak edges
+        flood the neighborhood — the exact flaw Section 3.3.2 describes."""
+        base_blocks = [
+            Block("a", frozenset({0}), frozenset({10})),
+            Block("b", frozenset({0}), frozenset({11})),
+        ]
+        weights_small = {(0, 10): 4.0, (0, 11): 2.0}
+        graph_small = BlockingGraph(BlockCollection(base_blocks, True))
+        verdict_small = (0, 11) in WeightNodePruning(True).prune(
+            graph_small, weights_small
+        )
+
+        flooded_blocks = base_blocks + [
+            Block(f"w{i}", frozenset({0}), frozenset({20 + i})) for i in range(8)
+        ]
+        weights_flooded = dict(weights_small)
+        weights_flooded.update({(0, 20 + i): 0.1 for i in range(8)})
+        graph_flooded = BlockingGraph(BlockCollection(flooded_blocks, True))
+        verdict_flooded = (0, 11) in WeightNodePruning(True).prune(
+            graph_flooded, weights_flooded
+        )
+
+        assert verdict_small != verdict_flooded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlastPruning(c=0)
+        with pytest.raises(ValueError):
+            BlastPruning(d=-1)

@@ -1,0 +1,81 @@
+"""Tests for Block Purging and Block Filtering."""
+
+import pytest
+
+from repro.blocking import TokenBlocking, block_filtering, block_purging
+from repro.blocking.base import Block, BlockCollection
+
+
+class TestBlockPurging:
+    def test_drops_blocks_covering_most_profiles(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        purged = block_purging(blocks, num_profiles=4, max_profile_ratio=0.5)
+        # "abram" covers 4/4 profiles > 0.5 -> purged; all others stay.
+        assert "abram" not in {b.key for b in purged}
+        assert len(purged) == len(blocks) - 1
+
+    def test_ratio_one_keeps_everything(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        purged = block_purging(blocks, num_profiles=4, max_profile_ratio=1.0)
+        assert len(purged) == len(blocks)
+
+    def test_max_comparisons_cap(self):
+        big = Block("big", frozenset(range(10)), frozenset(range(10, 25)))
+        small = Block("small", frozenset({0}), frozenset({10}))
+        bc = BlockCollection([big, small], True)
+        purged = block_purging(bc, num_profiles=1000, max_comparisons=100)
+        assert [b.key for b in purged] == ["small"]
+
+    def test_invalid_ratio_rejected(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        with pytest.raises(ValueError):
+            block_purging(blocks, num_profiles=4, max_profile_ratio=0.0)
+
+    def test_invalid_profile_count_rejected(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        with pytest.raises(ValueError):
+            block_purging(blocks, num_profiles=0)
+
+
+class TestBlockFiltering:
+    def test_never_increases_comparisons(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        filtered = block_filtering(blocks, ratio=0.8)
+        assert filtered.aggregate_cardinality <= blocks.aggregate_cardinality
+
+    def test_ratio_one_is_identity_on_cardinality(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        filtered = block_filtering(blocks, ratio=1.0)
+        assert filtered.aggregate_cardinality == blocks.aggregate_cardinality
+
+    def test_keeps_profiles_in_their_smallest_blocks(self):
+        # profile 0 sits in one small and one large block; at ratio 0.5 it
+        # must remain only in the small one.
+        small = Block("small", frozenset({0}), frozenset({10}))
+        large = Block("large", frozenset({0, 1, 2}), frozenset({10, 11, 12}))
+        bc = BlockCollection([small, large], True)
+        filtered = block_filtering(bc, ratio=0.5)
+        by_key = {b.key: b for b in filtered}
+        assert 0 in by_key["small"].profiles
+        assert 0 not in by_key.get("large", Block("x", frozenset())).profiles
+
+    def test_drops_blocks_left_without_comparisons(self):
+        small1 = Block("s1", frozenset({0}), frozenset({10}))
+        small2 = Block("s2", frozenset({1}), frozenset({10}))
+        large = Block("large", frozenset({0, 1}), frozenset({10, 11, 12}))
+        bc = BlockCollection([small1, small2, large], True)
+        filtered = block_filtering(bc, ratio=0.5)
+        # 11 and 12 appear only in "large"; they are retained there, but 0
+        # and 1 left it, so no left-side remains -> block dropped.
+        assert "large" not in {b.key for b in filtered}
+
+    def test_dirty_mode(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        filtered = block_filtering(blocks, ratio=0.5)
+        assert filtered.aggregate_cardinality < blocks.aggregate_cardinality
+        assert not filtered.is_clean_clean
+
+    def test_invalid_ratio_rejected(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        with pytest.raises(ValueError):
+            block_filtering(blocks, ratio=1.5)

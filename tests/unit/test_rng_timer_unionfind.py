@@ -1,0 +1,84 @@
+"""Tests for repro.utils.rng, repro.utils.timer, repro.utils.unionfind."""
+
+import time
+
+from repro.utils.rng import DEFAULT_SEED, derive_seed, make_rng
+from repro.utils.timer import Timer
+from repro.utils.unionfind import UnionFind
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).integers(0, 1000, 10).tolist() == \
+            make_rng(5).integers(0, 1000, 10).tolist()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).integers(0, 10**9) != make_rng(2).integers(0, 10**9)
+
+    def test_none_uses_default_seed(self):
+        assert make_rng(None).integers(0, 10**9) == \
+            make_rng(DEFAULT_SEED).integers(0, 10**9)
+
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(make_rng(9)) == derive_seed(make_rng(9))
+
+
+class TestTimer:
+    def test_measures_nonnegative_time(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestUnionFind:
+    def test_singletons_initially(self):
+        uf = UnionFind("abc")
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_components(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 2)
+        uf.union(3, 4)
+        components = uf.components()
+        assert {frozenset(c) for c in components} == {
+            frozenset({1, 2}), frozenset({3, 4})
+        }
+
+    def test_find_registers_new_items(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert any("new" in c for c in uf.components())
+
+    def test_self_union_is_noop(self):
+        uf = UnionFind()
+        uf.union("x", "x")
+        assert len(uf.components()) == 1
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(1, 2)
+        assert len(uf.components()) == 1

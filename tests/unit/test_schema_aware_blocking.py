@@ -1,0 +1,84 @@
+"""Tests for loosely schema-aware blocking (key disambiguation, Figure 2)."""
+
+import pytest
+
+from repro.blocking import LooselySchemaAwareBlocking
+from repro.blocking.schema_aware import make_key_entropy, split_key
+from repro.schema.partition import AttributePartitioning
+
+
+@pytest.fixture
+def name_address_partitioning() -> AttributePartitioning:
+    """Names of both sources in cluster 1, addresses in cluster 2, the
+    rest in glue — the idealized partitioning of the paper's Figure 2."""
+    return AttributePartitioning(
+        clusters=[
+            {(0, "Name"), (0, "FirstName"), (0, "SecondName"),
+             (1, "name1"), (1, "name2"), (1, "full name")},
+            {(0, "Addr."), (0, "mail"), (1, "Loc"), (1, "loc")},
+        ],
+        glue={(0, "profession"), (0, "year"), (0, "occupation"),
+              (1, "birth year"), (1, "job"), (1, "work info"), (1, "b. date")},
+    )
+
+
+class TestDisambiguation:
+    def test_abram_block_splits_by_cluster(
+        self, figure1_clean_clean, name_address_partitioning
+    ):
+        blocks = LooselySchemaAwareBlocking(name_address_partitioning).build(
+            figure1_clean_clean
+        )
+        by_key = {b.key: b for b in blocks}
+        # Figure 2a: Abram_c1 = {p1, p3} (person names), Abram_c2 = {p2, p4}.
+        assert by_key["abram#1"].profiles == {0, 2}
+        assert by_key["abram#2"].profiles == {1, 3}
+
+    def test_split_key_round_trip(self):
+        assert split_key("abram#2") == ("abram", 2)
+        assert split_key("token#with#11") == ("token#with", 11)
+
+    def test_unknown_attribute_goes_to_glue(self, figure1_clean_clean):
+        partitioning = AttributePartitioning(clusters=[], glue=[])
+        blocks = LooselySchemaAwareBlocking(partitioning).build(figure1_clean_clean)
+        # everything lands in glue cluster 0 => plain token blocking keys
+        assert all(b.key.endswith("#0") for b in blocks)
+        assert len(blocks) == 12
+
+    def test_no_glue_drops_unclustered_tokens(self, figure1_clean_clean):
+        partitioning = AttributePartitioning(
+            clusters=[{(0, "Name"), (1, "name2")}], glue=None
+        )
+        blocks = LooselySchemaAwareBlocking(partitioning).build(figure1_clean_clean)
+        assert {b.key for b in blocks} == {"abram#1"}
+
+
+class TestDirty:
+    def test_dirty_disambiguation(self, figure1_dirty):
+        # Dirty mode: every attribute belongs to source 0.
+        partitioning = AttributePartitioning(
+            clusters=[
+                {(0, "Name"), (0, "FirstName"), (0, "SecondName"),
+                 (0, "name1"), (0, "name2"), (0, "full name")},
+                {(0, "Addr."), (0, "mail"), (0, "Loc"), (0, "loc")},
+            ],
+            glue={(0, "profession"), (0, "year"), (0, "occupation"),
+                  (0, "birth year"), (0, "job"), (0, "work info"),
+                  (0, "b. date")},
+        )
+        blocks = LooselySchemaAwareBlocking(partitioning).build(figure1_dirty)
+        by_key = {b.key: b for b in blocks}
+        assert by_key["abram#1"].left == {0, 2}
+        assert by_key["abram#2"].left == {1, 3}
+
+
+class TestKeyEntropy:
+    def test_maps_key_to_cluster_entropy(self, name_address_partitioning):
+        partitioning = name_address_partitioning.with_entropies({1: 3.5, 2: 2.0})
+        fn = make_key_entropy(partitioning)
+        assert fn("abram#1") == 3.5
+        assert fn("abram#2") == 2.0
+
+    def test_unset_cluster_defaults_to_one(self, name_address_partitioning):
+        fn = make_key_entropy(name_address_partitioning)
+        assert fn("anything#1") == 1.0

@@ -1,0 +1,56 @@
+"""Tests for the q-gram variant of loosely schema-aware blocking."""
+
+import pytest
+
+from repro.blocking import LooselySchemaAwareBlocking
+from repro.schema.partition import AttributePartitioning, single_glue_partitioning
+
+
+class TestQgramTransformation:
+    def test_qgram_keys_carry_cluster_ids(self, figure1_clean_clean):
+        partitioning = single_glue_partitioning([])
+        blocker = LooselySchemaAwareBlocking(
+            partitioning, transformation="qgram", q=3
+        )
+        blocks = blocker.build(figure1_clean_clean)
+        keys = {b.key for b in blocks}
+        assert "abr#0" in keys and "ram#0" in keys
+
+    def test_qgrams_tolerate_typos_tokens_do_not(self):
+        """'jonn'/'john' share no token but share the gram 'jo'."""
+        from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
+
+        ds = ERDataset(
+            EntityCollection(
+                [EntityProfile.from_dict("a", {"name": "jonn"})], "L"
+            ),
+            EntityCollection(
+                [EntityProfile.from_dict("b", {"name": "john"})], "R"
+            ),
+            GroundTruth([("a", "b")]),
+            "typo",
+        )
+        partitioning = single_glue_partitioning([])
+        token_blocks = LooselySchemaAwareBlocking(partitioning).build(ds)
+        qgram_blocks = LooselySchemaAwareBlocking(
+            partitioning, transformation="qgram", q=2
+        ).build(ds)
+        assert token_blocks.aggregate_cardinality == 0
+        assert qgram_blocks.aggregate_cardinality > 0
+
+    def test_cluster_disambiguation_still_applies(self, figure1_clean_clean):
+        partitioning = AttributePartitioning(
+            clusters=[{(0, "Name"), (1, "name2")}], glue=None
+        )
+        blocks = LooselySchemaAwareBlocking(
+            partitioning, transformation="qgram", q=3
+        ).build(figure1_clean_clean)
+        # only Name/name2 tokens survive, all with cluster 1
+        assert blocks and all(b.key.endswith("#1") for b in blocks)
+
+    def test_validation(self):
+        partitioning = single_glue_partitioning([])
+        with pytest.raises(ValueError, match="transformation"):
+            LooselySchemaAwareBlocking(partitioning, transformation="chars")
+        with pytest.raises(ValueError, match="q must"):
+            LooselySchemaAwareBlocking(partitioning, transformation="qgram", q=1)

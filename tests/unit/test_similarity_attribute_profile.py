@@ -1,0 +1,72 @@
+"""Tests for set similarities and attribute profile construction."""
+
+import pytest
+
+from repro.data import EntityCollection, EntityProfile
+from repro.schema.attribute_profile import build_attribute_profiles
+from repro.schema.similarity import cosine, dice, jaccard
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0
+        assert jaccard({"a"}, set()) == 0.0
+
+
+class TestDiceCosine:
+    def test_dice_bounds_and_overlap(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+        assert dice({"a"}, {"a"}) == 1.0
+
+    def test_cosine_bounds_and_overlap(self):
+        assert cosine({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+        assert cosine({"a"}, {"a"}) == 1.0
+
+    def test_all_measures_agree_on_extremes(self):
+        for fn in (jaccard, dice, cosine):
+            assert fn({"x"}, {"x"}) == 1.0
+            assert fn({"x"}, {"y"}) == 0.0
+            assert fn(set(), {"y"}) == 0.0
+
+    def test_ordering_consistency(self):
+        # dice >= jaccard always; cosine between them for same-size sets
+        a, b = {"a", "b", "c"}, {"b", "c", "d"}
+        assert dice(a, b) >= jaccard(a, b)
+
+
+class TestBuildAttributeProfiles:
+    def _collection(self) -> EntityCollection:
+        return EntityCollection(
+            [
+                EntityProfile.from_dict("1", {"name": "John Abram", "year": "1985"}),
+                EntityProfile.from_dict("2", {"name": "Ellen Smith", "note": "..."}),
+            ],
+            "c",
+        )
+
+    def test_token_sets_per_attribute(self):
+        profiles = {p.name: p for p in build_attribute_profiles(self._collection(), 0)}
+        assert profiles["name"].tokens == {"john", "abram", "ellen", "smith"}
+        assert profiles["year"].tokens == {"1985"}
+
+    def test_tokenless_attribute_still_emitted(self):
+        # "note" has only punctuation: empty token set, but present.
+        profiles = {p.name: p for p in build_attribute_profiles(self._collection(), 0)}
+        assert profiles["note"].tokens == frozenset()
+
+    def test_ref_carries_source(self):
+        profiles = build_attribute_profiles(self._collection(), 1)
+        assert all(p.ref[0] == 1 for p in profiles)
+
+    def test_deterministic_order(self):
+        names = [p.name for p in build_attribute_profiles(self._collection(), 0)]
+        assert names == sorted(names)

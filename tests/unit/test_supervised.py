@@ -1,0 +1,94 @@
+"""Tests for edge features and supervised meta-blocking."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.graph import BlockingGraph
+from repro.metrics import evaluate_blocks
+from repro.supervised import EDGE_FEATURE_NAMES, SupervisedMetaBlocking, edge_features
+
+
+class TestEdgeFeatures:
+    def test_shape_and_names(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        edges = [edge for edge, _ in graph.edges()]
+        X = edge_features(graph, edges)
+        assert X.shape == (len(edges), len(EDGE_FEATURE_NAMES))
+        assert np.isfinite(X).all()
+
+    def test_js_feature_matches_weighting_scheme(self, figure1_dirty):
+        from repro.graph import WeightingScheme, compute_weights
+
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        edges = [edge for edge, _ in graph.edges()]
+        X = edge_features(graph, edges)
+        js = compute_weights(graph, WeightingScheme.JS)
+        js_column = EDGE_FEATURE_NAMES.index("js")
+        for row, edge in enumerate(edges):
+            assert X[row, js_column] == pytest.approx(js[edge])
+
+    def test_degree_features_normalized(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        edges = [edge for edge, _ in graph.edges()]
+        X = edge_features(graph, edges)
+        nd = X[:, [3, 4]]
+        assert (nd > 0).all() and (nd <= 1).all()
+
+    def test_matching_edges_score_higher_on_raccb(self, figure1_dirty):
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        edges = [edge for edge, _ in graph.edges()]
+        X = edge_features(graph, edges)
+        raccb = dict(zip(edges, X[:, 1]))
+        # true matches p1-p3 and p2-p4 accumulate more small-block mass
+        # than the "abram"-only pairs p1-p2, p3-p4
+        assert raccb[(0, 2)] > raccb[(0, 1)]
+        assert raccb[(1, 3)] > raccb[(2, 3)]
+
+
+class TestSupervisedMetaBlocking:
+    def test_improves_pq_on_benchmark(self):
+        from repro import load_clean_clean, prepare_blocks
+
+        ds = load_clean_clean("ar1", scale=0.5)
+        base = prepare_blocks(ds)
+        out = SupervisedMetaBlocking(seed=7).run(base, ds)
+        before = evaluate_blocks(base, ds)
+        after = evaluate_blocks(out, ds)
+        assert after.pair_quality > before.pair_quality
+        assert after.pair_completeness > 0.8
+
+    def test_deterministic_given_seed(self):
+        from repro import load_clean_clean, prepare_blocks
+
+        ds = load_clean_clean("prd", scale=0.5)
+        base = prepare_blocks(ds)
+        out1 = SupervisedMetaBlocking(seed=5).run(base, ds)
+        out2 = SupervisedMetaBlocking(seed=5).run(base, ds)
+        assert {b.key for b in out1} == {b.key for b in out2}
+
+    def test_degenerate_no_positives_keeps_everything(self, figure1_dirty):
+        from repro.data import ERDataset, GroundTruth
+
+        no_matches = ERDataset(
+            figure1_dirty.collection1, None,
+            GroundTruth([], clean_clean=False), "empty-gt",
+        )
+        blocks = TokenBlocking().build(no_matches)
+        out = SupervisedMetaBlocking(seed=1).run(blocks, no_matches)
+        graph = BlockingGraph(blocks)
+        assert len(out) == graph.num_edges
+
+    def test_empty_collection(self, figure1_dirty):
+        from repro.blocking.base import BlockCollection
+
+        out = SupervisedMetaBlocking().run(
+            BlockCollection([], False), figure1_dirty
+        )
+        assert len(out) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedMetaBlocking(training_fraction=0.0)
+        with pytest.raises(ValueError):
+            SupervisedMetaBlocking(negative_ratio=-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the from-scratch linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.supervised.svm import LinearSVM
+
+
+def _separable(n: int = 200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(loc=2.0, scale=0.5, size=(n // 2, 2))
+    neg = rng.normal(loc=-2.0, scale=0.5, size=(n // 2, 2))
+    X = np.vstack([pos, neg])
+    y = np.array([1.0] * (n // 2) + [-1.0] * (n // 2))
+    return X, y
+
+
+class TestTraining:
+    def test_separates_linearly_separable_data(self):
+        X, y = _separable()
+        svm = LinearSVM(seed=1).fit(X, y)
+        accuracy = np.mean(svm.predict(X) == y)
+        assert accuracy > 0.98
+
+    def test_accepts_zero_one_labels(self):
+        X, y = _separable()
+        svm = LinearSVM(seed=1).fit(X, (y > 0).astype(float))
+        assert np.mean(svm.predict(X) == y) > 0.98
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable()
+        w1 = LinearSVM(seed=3).fit(X, y).weights
+        w2 = LinearSVM(seed=3).fit(X, y).weights
+        assert np.allclose(w1, w2)
+
+    def test_decision_function_sign_matches_predict(self):
+        X, y = _separable()
+        svm = LinearSVM(seed=1).fit(X, y)
+        scores = svm.decision_function(X)
+        assert np.array_equal(np.where(scores >= 0, 1, -1), svm.predict(X))
+
+    def test_standardization_handles_constant_feature(self):
+        X, y = _separable()
+        X = np.hstack([X, np.ones((X.shape[0], 1))])  # zero-variance column
+        svm = LinearSVM(seed=1).fit(X, y)
+        assert np.isfinite(svm.decision_function(X)).all()
+
+    def test_margin_correlates_with_distance(self):
+        X, y = _separable()
+        svm = LinearSVM(seed=1).fit(X, y)
+        far = svm.decision_function(np.array([[5.0, 5.0]]))[0]
+        near = svm.decision_function(np.array([[0.2, 0.2]]))[0]
+        assert far > near
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+    def test_single_class_rejected(self):
+        X = np.zeros((5, 2))
+        y = np.ones(5)
+        with pytest.raises(ValueError, match="both classes"):
+            LinearSVM().fit(X, y)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            LinearSVM().fit(np.zeros((4, 2)), np.ones(3))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearSVM(regularization=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)

@@ -1,0 +1,53 @@
+"""Tests for Token Blocking against the paper's Figure 1 example."""
+
+from repro.blocking import TokenBlocking
+
+# Figure 1b: the 12 blocks Token Blocking derives from the four profiles.
+FIGURE_1B_KEYS = {
+    "ellen", "smith", "1985", "car", "ny", "main",
+    "abram", "street", "jr", "85", "st", "retail",
+}
+
+
+class TestCleanClean:
+    def test_reproduces_figure_1b_keys(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        assert {b.key for b in blocks} == FIGURE_1B_KEYS
+
+    def test_abram_block_contains_all_profiles(self, figure1_clean_clean):
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        abram = next(b for b in blocks if b.key == "abram")
+        assert abram.profiles == {0, 1, 2, 3}
+
+    def test_one_sided_tokens_produce_no_block(self, figure1_clean_clean):
+        # "john" appears only in p1 (source 1), "may" only in p4 (source 2).
+        blocks = TokenBlocking().build(figure1_clean_clean)
+        keys = {b.key for b in blocks}
+        assert "john" not in keys
+        assert "may" not in keys
+
+    def test_min_token_length_filters_keys(self, figure1_clean_clean):
+        # "30" is two chars: present at length 2, absent at length 3.
+        keys2 = {b.key for b in TokenBlocking(2).build(figure1_clean_clean)}
+        keys3 = {b.key for b in TokenBlocking(3).build(figure1_clean_clean)}
+        assert "ny" in keys2
+        assert "ny" not in keys3
+        assert "abram" in keys3
+
+
+class TestDirty:
+    def test_dirty_blocks_include_within_source_pairs(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        abram = next(b for b in blocks if b.key == "abram")
+        # The figure's graph has all 6 edges; the dirty abram block alone
+        # entails all of them.
+        assert abram.num_comparisons == 6
+
+    def test_same_keys_as_clean_clean(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        assert {b.key for b in blocks} == FIGURE_1B_KEYS
+
+    def test_aggregate_cardinality_matches_hand_count(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        # 11 two-profile blocks (1 comparison each) + abram with 6.
+        assert blocks.aggregate_cardinality == 17

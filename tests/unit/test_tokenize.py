@@ -1,0 +1,91 @@
+"""Tests for the value transformation functions (repro.utils.tokenize)."""
+
+import pytest
+
+from repro.utils.tokenize import normalize, qgrams, suffixes, token_set, tokenize
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("ABRAM") == "abram"
+
+    def test_collapses_punctuation_to_spaces(self):
+        assert normalize("Abram st. 30, NY") == "abram st 30 ny"
+
+    def test_strips_edges(self):
+        assert normalize("  hello  ") == "hello"
+
+    def test_underscore_is_a_separator(self):
+        assert normalize("main_street") == "main street"
+
+    def test_empty_string(self):
+        assert normalize("") == ""
+
+    def test_only_punctuation(self):
+        assert normalize("... --- !!!") == ""
+
+    def test_unicode_casefold(self):
+        assert normalize("STRASSE") == normalize("strasse")
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Abram St. 30 NY") == ["abram", "st", "30", "ny"]
+
+    def test_min_length_drops_short_tokens(self):
+        assert tokenize("a b ab abc", min_length=2) == ["ab", "abc"]
+
+    def test_min_length_one_keeps_everything(self):
+        assert tokenize("a b", min_length=1) == ["a", "b"]
+
+    def test_preserves_duplicates(self):
+        # Entropy extraction counts frequencies, so duplicates must survive.
+        assert tokenize("st st st") == ["st", "st", "st"]
+
+    def test_empty_value(self):
+        assert tokenize("") == []
+
+
+class TestTokenSet:
+    def test_union_over_values(self):
+        assert token_set(["alpha beta", "beta gamma"]) == {"alpha", "beta", "gamma"}
+
+    def test_empty_iterable(self):
+        assert token_set([]) == set()
+
+
+class TestQgrams:
+    def test_sliding_window(self):
+        assert qgrams("abcd", q=3) == ["abc", "bcd"]
+
+    def test_short_value_yields_whole_string(self):
+        assert qgrams("ny", q=3) == ["ny"]
+
+    def test_normalizes_and_joins_tokens(self):
+        # spaces removed before gramming: "ab cd" -> "abcd"
+        assert qgrams("AB cd", q=4) == ["abcd"]
+
+    def test_empty_value(self):
+        assert qgrams("", q=3) == []
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_exact_length_value(self):
+        assert qgrams("abc", q=3) == ["abc"]
+
+
+class TestSuffixes:
+    def test_all_long_suffixes(self):
+        assert list(suffixes("abram", min_length=4)) == ["abram", "bram"]
+
+    def test_short_token_yields_itself(self):
+        assert list(suffixes("ny", min_length=4)) == ["ny"]
+
+    def test_multiple_tokens(self):
+        out = list(suffixes("main st", min_length=3))
+        assert "main" in out and "ain" in out
+
+    def test_empty_value(self):
+        assert list(suffixes("", min_length=4)) == []

@@ -1,0 +1,82 @@
+"""Tests for the synthetic vocabulary and field samplers."""
+
+import pytest
+
+from repro.datasets import samplers as s
+from repro.datasets.vocabulary import make_vocabulary
+from repro.utils.rng import make_rng
+
+
+class TestVocabulary:
+    def test_deterministic_across_calls(self):
+        assert make_vocabulary(7).last_names == make_vocabulary(7).last_names
+
+    def test_different_seeds_differ(self):
+        assert make_vocabulary(7).last_names != make_vocabulary(8).last_names
+
+    def test_pool_sizes(self):
+        v = make_vocabulary()
+        assert len(v.first_names) == 400
+        assert len(v.last_names) == 900
+        assert len(v.genres) == 15
+
+    def test_streets_embed_surnames(self):
+        # the "Abram street" ambiguity: every street's first token is a
+        # surname from the same world
+        v = make_vocabulary()
+        surnames = set(v.last_names)
+        assert all(street.split()[0] in surnames for street in v.street_names)
+
+    def test_words_are_lowercase_alpha(self):
+        v = make_vocabulary()
+        assert all(w.isalpha() and w.islower() for w in v.title_words[:100])
+
+
+class TestSamplers:
+    @pytest.fixture
+    def env(self):
+        return make_rng(1), make_vocabulary()
+
+    def test_person_name_two_tokens(self, env):
+        rng, v = env
+        assert len(s.person_name(rng, v).split()) == 2
+
+    def test_year_in_range(self, env):
+        rng, v = env
+        for _ in range(50):
+            assert 1955 <= int(s.year(rng, v)) < 2016
+
+    def test_title_length(self, env):
+        rng, v = env
+        for _ in range(50):
+            assert 3 <= len(s.title(rng, v).split()) <= 9
+
+    def test_author_list_one_to_three_names(self, env):
+        rng, v = env
+        for _ in range(20):
+            names = s.author_list(rng, v).split(" and ")
+            assert 1 <= len(names) <= 3
+
+    def test_street_address_ends_with_number(self, env):
+        rng, v = env
+        assert s.street_address(rng, v).split()[-1].isdigit()
+
+    def test_product_name_contains_brand(self, env):
+        rng, v = env
+        for _ in range(20):
+            assert s.product_name(rng, v).split()[0] in v.brands
+
+    def test_pages_format(self, env):
+        rng, v = env
+        start, end = s.pages(rng, v).split("-")
+        assert int(start) < int(end)
+
+    def test_categorical_field_stays_in_pool(self, env):
+        rng, v = env
+        sampler = s.categorical_field(("red", "green", "blue"), max_words=2)
+        for _ in range(20):
+            assert set(sampler(rng, v).split()) <= {"red", "green", "blue"}
+
+    def test_categorical_field_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            s.categorical_field(())

@@ -1,0 +1,138 @@
+"""Tests for the edge weighting schemes."""
+
+import math
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blocking.base import Block, BlockCollection
+from repro.graph import BlockingGraph, WeightingScheme, compute_weights
+
+
+@pytest.fixture
+def fig1_graph(figure1_dirty) -> BlockingGraph:
+    return BlockingGraph(TokenBlocking().build(figure1_dirty))
+
+
+class TestCBS:
+    def test_counts_shared_blocks(self, fig1_graph):
+        w = compute_weights(fig1_graph, WeightingScheme.CBS)
+        assert w[(0, 2)] == 4.0
+        assert w[(0, 1)] == 1.0
+
+
+class TestJS:
+    def test_jaccard_of_block_sets(self, fig1_graph):
+        w = compute_weights(fig1_graph, WeightingScheme.JS)
+        # p1: 7 blocks, p3: 6 blocks, shared 4 -> 4/(7+6-4)
+        assert w[(0, 2)] == pytest.approx(4 / 9)
+
+    def test_bounded_by_one(self, fig1_graph):
+        w = compute_weights(fig1_graph, WeightingScheme.JS)
+        assert all(0.0 < v <= 1.0 for v in w.values())
+
+
+class TestECBS:
+    def test_formula(self, fig1_graph):
+        w = compute_weights(fig1_graph, WeightingScheme.ECBS)
+        expected = 4 * math.log10(12 / 7) * math.log10(12 / 6)
+        assert w[(0, 2)] == pytest.approx(expected)
+
+    def test_node_in_every_block_contributes_zero(self):
+        blocks = BlockCollection(
+            [Block("k", frozenset({0}), frozenset({5}))], True
+        )
+        w = compute_weights(BlockingGraph(blocks), WeightingScheme.ECBS)
+        assert w[(0, 5)] == 0.0  # log(1/1) clamps to 0
+
+
+class TestEJS:
+    def test_scales_js_by_degree_idf(self, fig1_graph):
+        js = compute_weights(fig1_graph, WeightingScheme.JS)
+        ejs = compute_weights(fig1_graph, WeightingScheme.EJS)
+        # all nodes have degree 3 of 6 edges: factor log10(2)^2 for every edge
+        factor = math.log10(6 / 3) ** 2
+        for edge in js:
+            assert ejs[edge] == pytest.approx(js[edge] * factor)
+
+
+class TestARCS:
+    def test_small_blocks_weigh_more(self):
+        blocks = BlockCollection(
+            [
+                Block("small", frozenset({0}), frozenset({5})),
+                Block("big", frozenset({0, 1, 2}), frozenset({5, 6, 7})),
+            ],
+            True,
+        )
+        w = compute_weights(BlockingGraph(blocks), WeightingScheme.ARCS)
+        assert w[(0, 5)] == pytest.approx(1.0 + 1 / 9)
+        assert w[(1, 6)] == pytest.approx(1 / 9)
+
+
+class TestChiH:
+    def test_equals_chi_squared_when_entropy_neutral(self, fig1_graph):
+        from repro.graph.contingency import chi_squared
+
+        w = compute_weights(fig1_graph, WeightingScheme.CHI_H)
+        assert w[(0, 2)] == pytest.approx(chi_squared(4, 7, 6, 12))
+
+    def test_entropy_scales_weight(self):
+        blocks = BlockCollection(
+            [Block("k#1", frozenset({0}), frozenset({5})),
+             Block("j#1", frozenset({1}), frozenset({6}))],
+            True,
+        )
+        neutral = compute_weights(BlockingGraph(blocks), WeightingScheme.CHI_H)
+        boosted = compute_weights(
+            BlockingGraph(blocks, key_entropy=lambda key: 3.5),
+            WeightingScheme.CHI_H,
+        )
+        assert boosted[(0, 5)] == pytest.approx(3.5 * neutral[(0, 5)])
+
+    def test_figure3_entropy_reorders_edges(self):
+        """Figure 2b -> 3b: entropy weighting flips the edge ordering.
+
+        The name-cluster blocks (entropy 3.5) lift p1-p3 and p2-p4 above
+        the other-attribute blocks (entropy 2.0)."""
+        name = 3.5
+        other = 2.0
+        entropies = {"a#1": name, "b#1": name, "c#2": other, "d#2": other,
+                     "f1#0": 1.0, "f2#0": 1.0}
+        blocks = BlockCollection(
+            [
+                Block("a#1", frozenset({0}), frozenset({2})),  # p1-p3 names
+                Block("b#1", frozenset({0}), frozenset({2})),
+                Block("c#2", frozenset({1}), frozenset({2})),  # p2-p3 other
+                Block("d#2", frozenset({1}), frozenset({2})),
+                # filler blocks on unrelated profiles keep the contingency
+                # tables non-degenerate (n22 > 0)
+                Block("f1#0", frozenset({5}), frozenset({6})),
+                Block("f2#0", frozenset({5}), frozenset({6})),
+            ],
+            True,
+        )
+        w = compute_weights(
+            BlockingGraph(blocks, key_entropy=entropies.__getitem__),
+            WeightingScheme.CHI_H,
+        )
+        assert w[(0, 2)] > w[(1, 2)] > 0.0
+
+
+class TestEntropyBoost:
+    def test_boost_multiplies_traditional_scheme(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        graph = BlockingGraph(blocks, key_entropy=lambda key: 2.0)
+        plain = compute_weights(graph, WeightingScheme.JS)
+        boosted = compute_weights(graph, WeightingScheme.JS, entropy_boost=True)
+        for edge in plain:
+            assert boosted[edge] == pytest.approx(2.0 * plain[edge])
+
+    def test_traditional_list(self):
+        assert WeightingScheme.CHI_H not in WeightingScheme.traditional()
+        assert len(WeightingScheme.traditional()) == 5
+
+    def test_scheme_accepts_string(self, fig1_graph):
+        assert compute_weights(fig1_graph, "cbs") == compute_weights(
+            fig1_graph, WeightingScheme.CBS
+        )

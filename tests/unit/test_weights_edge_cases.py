@@ -1,0 +1,94 @@
+"""Edge-case tests for the weighting schemes beyond the happy path."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blocking.base import Block, BlockCollection
+from repro.graph import BlockingGraph, WeightingScheme, compute_weights
+
+
+def _single_block_graph() -> BlockingGraph:
+    """Degenerate: one block, both nodes in 100% of blocks."""
+    return BlockingGraph(
+        BlockCollection([Block("only", frozenset({0}), frozenset({5}))], True)
+    )
+
+
+class TestDegenerateGraphs:
+    def test_single_block_all_schemes_finite(self):
+        graph = _single_block_graph()
+        for scheme in WeightingScheme:
+            weights = compute_weights(graph, scheme)
+            assert all(w == w and abs(w) != float("inf") for w in weights.values())
+
+    def test_single_block_chi_h_is_zero(self):
+        # co-occurrence cannot exceed expectation when |B| = |B_i| = |B_j|
+        weights = compute_weights(_single_block_graph(), WeightingScheme.CHI_H)
+        assert weights[(0, 5)] == 0.0
+
+    def test_js_is_one_for_identical_block_sets(self):
+        weights = compute_weights(_single_block_graph(), WeightingScheme.JS)
+        assert weights[(0, 5)] == 1.0
+
+    def test_empty_collection_yields_no_weights(self):
+        graph = BlockingGraph(BlockCollection([], True))
+        for scheme in WeightingScheme:
+            assert compute_weights(graph, scheme) == {}
+
+
+class TestCleanCleanFigure1:
+    """The clean-clean framing drops within-source edges; weights on the
+    remaining edges must match the dirty framing exactly."""
+
+    def test_cross_source_weights_match_dirty(self, figure1_clean_clean,
+                                              figure1_dirty):
+        cc = BlockingGraph(TokenBlocking().build(figure1_clean_clean))
+        dd = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        w_cc = compute_weights(cc, WeightingScheme.CBS)
+        w_dd = compute_weights(dd, WeightingScheme.CBS)
+        for edge, value in w_cc.items():
+            assert w_dd[edge] == value
+
+    def test_clean_clean_has_no_within_source_edges(self, figure1_clean_clean):
+        graph = BlockingGraph(TokenBlocking().build(figure1_clean_clean))
+        offset = figure1_clean_clean.offset2
+        for (i, j), _ in graph.edges():
+            assert i < offset <= j
+
+
+class TestDeterminism:
+    def test_weights_are_reproducible(self, figure1_dirty):
+        blocks = TokenBlocking().build(figure1_dirty)
+        for scheme in WeightingScheme:
+            w1 = compute_weights(BlockingGraph(blocks), scheme)
+            w2 = compute_weights(BlockingGraph(blocks), scheme)
+            assert w1 == w2
+
+    def test_negative_association_zeroed_only_for_chi(self, figure1_dirty):
+        """The one-sided rule applies to CHI_H; traditional schemes keep
+        their positive weights for the same anti-correlated edge."""
+        graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
+        chi = compute_weights(graph, WeightingScheme.CHI_H)
+        cbs = compute_weights(graph, WeightingScheme.CBS)
+        # p1-p2 (edge (0,1)) co-occurs less than expected -> chi zero
+        assert chi[(0, 1)] == 0.0
+        assert cbs[(0, 1)] == 1.0
+
+
+class TestEntropyInteraction:
+    def test_zero_entropy_clusters_suppress_edges(self):
+        """An edge supported only by zero-entropy keys weighs zero under
+        CHI_H: uninformative attributes cannot justify a comparison."""
+        blocks = BlockCollection(
+            [
+                Block("a#1", frozenset({0}), frozenset({5})),
+                Block("b#2", frozenset({1}), frozenset({6})),
+                Block("c#2", frozenset({1}), frozenset({6})),
+            ],
+            True,
+        )
+        entropy = {"a#1": 0.0, "b#2": 2.0, "c#2": 2.0}
+        graph = BlockingGraph(blocks, key_entropy=entropy.__getitem__)
+        weights = compute_weights(graph, WeightingScheme.CHI_H)
+        assert weights[(0, 5)] == 0.0
+        assert weights[(1, 6)] > 0.0
