@@ -21,6 +21,7 @@ from harness import (
 )
 
 from repro.blocking.schema_aware import make_key_entropy
+from repro.core import MetaBlockingStage, PipelineContext
 from repro.graph import BlockingGraph, WeightingScheme, compute_weights
 from repro.graph.metablocking import blocks_from_edges
 from repro.graph.pruning import BlastPruning, WeightNodePruning
@@ -29,12 +30,29 @@ from repro.metrics import evaluate_blocks
 DATASETS = ("ar1", "ar2", "prd", "mov", "dbp")
 
 
+def _ablation_quality(name: str, stage: MetaBlockingStage):
+    """PC/PQ of one meta-blocking ablation applied to the LMI blocks."""
+    dataset = clean_dataset(name)
+    context = PipelineContext(
+        dataset, partitioning=partitioning_of(name), blocks=blocks_L(name)
+    )
+    stage.apply(context)
+    quality = evaluate_blocks(context.blocks, dataset)
+    return quality.pair_completeness, quality.pair_quality
+
+
 def _wsh_quality(name: str):
-    """BLAST pruning over entropy-boosted traditional weighting schemes."""
+    """BLAST pruning over entropy-boosted traditional weighting schemes.
+
+    Equivalent to applying ``MetaBlockingStage(weighting=scheme,
+    entropy_boost=True)`` per scheme, but shares one blocking graph across
+    all five schemes — the graph is the expensive part of this sweep.
+    """
     dataset = clean_dataset(name)
     collection = blocks_L(name)
-    part = partitioning_of(name)
-    graph = BlockingGraph(collection, key_entropy=make_key_entropy(part))
+    graph = BlockingGraph(
+        collection, key_entropy=make_key_entropy(partitioning_of(name))
+    )
     pcs, pqs = [], []
     for scheme in WeightingScheme.traditional():
         weights = compute_weights(graph, scheme, entropy_boost=True)
@@ -49,15 +67,7 @@ def _wsh_quality(name: str):
 
 def _chi_quality(name: str):
     """BLAST without the entropy factor (the `chi` configuration)."""
-    dataset = clean_dataset(name)
-    collection = blocks_L(name)
-    graph = BlockingGraph(collection)  # neutral entropies
-    weights = compute_weights(graph, WeightingScheme.CHI_H)
-    retained = BlastPruning().prune(graph, weights)
-    quality = evaluate_blocks(
-        blocks_from_edges(retained, collection.is_clean_clean), dataset
-    )
-    return quality.pair_completeness, quality.pair_quality
+    return _ablation_quality(name, MetaBlockingStage(use_entropy=False))
 
 
 def test_fig8_component_contributions(benchmark):

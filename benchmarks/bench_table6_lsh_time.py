@@ -9,7 +9,6 @@ faster.
 
 from harness import write_result
 
-from repro.core import Blast
 from repro.datasets.benchmarks import load_dbp_wide
 from repro.lsh import lsh_candidate_pairs
 from repro.schema.attribute_profile import build_attribute_profiles

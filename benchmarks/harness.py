@@ -2,8 +2,8 @@
 
 The per-experiment benches (one file per paper table/figure) compose these
 helpers: cached dataset loading, the T/L block-collection workflow of
-Section 4.1, traditional meta-blocking averaged over the five weighting
-schemes, and result formatting/writing.
+Section 4.1 (expressed as stage pipelines), traditional meta-blocking
+averaged over the five weighting schemes, and result formatting/writing.
 """
 
 from __future__ import annotations
@@ -54,7 +54,11 @@ def partitioning_of(name: str, scale: float = 1.0, dirty: bool = False
 
 @lru_cache(maxsize=None)
 def blocks_T(name: str, scale: float = 1.0, dirty: bool = False) -> BlockCollection:
-    """Token Blocking + purging + filtering (the "T" rows)."""
+    """Token Blocking + purging + filtering (the "T" rows).
+
+    ``prepare_blocks`` is the T/L stage composition (token or schema-aware
+    blocking -> purging -> filtering) run over a pre-seeded context.
+    """
     dataset = dirty_dataset(name, scale) if dirty else clean_dataset(name, scale)
     return prepare_blocks(dataset)
 

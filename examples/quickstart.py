@@ -28,6 +28,8 @@ def main() -> None:
     print(f"BLAST:                   {quality}")
     print(f"overhead: {result.overhead_seconds:.2f}s "
           f"({ {k: round(v, 2) for k, v in result.phase_seconds.items()} })")
+    print("\nper-stage instrumentation:")
+    print(result.report())
 
     print("\ninduced attribute clusters:")
     part = result.partitioning

@@ -11,23 +11,69 @@ Quickstart
 >>> quality.pair_completeness > 0.8
 True
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+The same run as an explicit stage composition (every paper variant is a
+pipeline; see DESIGN.md for the architecture and the ablation catalogue):
+
+>>> from repro import build_pipeline
+>>> result = build_pipeline(blocker="token", weighting="cbs").run(dataset)
+>>> for report in result.stage_reports:
+...     _ = report.seconds  # per-stage wall-clock + block statistics
+
+See DESIGN.md for the stage/registry architecture, the component registry
+names accepted by ``--blocker``/``--weighting``/``--pruning``, and the
+three-line compositions behind each Figure 8 ablation.
 """
 
-from repro.core import Blast, BlastConfig, BlastResult, prepare_blocks
+from repro.core import (
+    Blast,
+    BlastConfig,
+    BlastResult,
+    BlockerStage,
+    BlockFilteringStage,
+    BlockPurgingStage,
+    MetaBlockingStage,
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    SchemaAwareBlockingStage,
+    SchemaExtraction,
+    Stage,
+    StageReport,
+    TokenBlockingStage,
+    build_pipeline,
+    prepare_blocks,
+    register_blocker,
+    register_pruning,
+    register_weighting,
+)
 from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
 from repro.datasets import load_clean_clean, load_dirty
 from repro.graph import MetaBlocker, WeightingScheme
 from repro.metrics import evaluate_blocks
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Blast",
     "BlastConfig",
     "BlastResult",
     "prepare_blocks",
+    "Stage",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineError",
+    "StageReport",
+    "SchemaExtraction",
+    "TokenBlockingStage",
+    "SchemaAwareBlockingStage",
+    "BlockerStage",
+    "BlockPurgingStage",
+    "BlockFilteringStage",
+    "MetaBlockingStage",
+    "build_pipeline",
+    "register_blocker",
+    "register_weighting",
+    "register_pruning",
     "EntityProfile",
     "EntityCollection",
     "GroundTruth",

@@ -11,6 +11,11 @@ Three subcommands::
 ``evaluate`` additionally scores them against a ground truth; ``generate``
 materializes one of the built-in benchmark datasets as JSONL + CSV so the
 other two commands (and external tools) can consume it.
+
+``run`` and ``evaluate`` assemble their pipeline from the component
+registries: ``--blocker``, ``--weighting`` and ``--pruning`` accept any
+registered name (components added via ``repro.register_blocker`` and
+friends appear automatically, in ``--help`` too).
 """
 
 from __future__ import annotations
@@ -20,7 +25,8 @@ import csv
 import sys
 from pathlib import Path
 
-from repro.core import Blast, BlastConfig
+from repro.core import BlastConfig, build_pipeline
+from repro.core.registry import BLOCKERS, PRUNERS, WEIGHTINGS
 from repro.data.dataset import ERDataset
 from repro.data.io import (
     load_collection,
@@ -35,20 +41,37 @@ from repro.datasets.dirty import DIRTY_DATASETS
 from repro.metrics import evaluate_blocks
 
 
+def _registry_epilog() -> str:
+    """The dynamic component listing appended to ``--help``."""
+    return (
+        "registered components (extensible via repro.register_blocker/"
+        "register_weighting/register_pruning):\n"
+        f"  blockers:   {', '.join(BLOCKERS.names())}\n"
+        f"  weightings: {', '.join(WEIGHTINGS.names())}\n"
+        f"  prunings:   {', '.join(PRUNERS.names())}"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BLAST: loosely schema-aware meta-blocking for entity resolution",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run BLAST and write candidate pairs")
+    run = sub.add_parser("run", help="run BLAST and write candidate pairs",
+                         epilog=_registry_epilog(),
+                         formatter_class=argparse.RawDescriptionHelpFormatter)
     _add_input_arguments(run)
     _add_config_arguments(run)
     run.add_argument("--output", type=Path, required=True,
                      help="CSV file for the candidate pairs")
 
-    ev = sub.add_parser("evaluate", help="run BLAST and score against a ground truth")
+    ev = sub.add_parser("evaluate", help="run BLAST and score against a ground truth",
+                        epilog=_registry_epilog(),
+                        formatter_class=argparse.RawDescriptionHelpFormatter)
     _add_input_arguments(ev)
     _add_config_arguments(ev)
     ev.add_argument("--ground-truth", type=Path, required=True,
@@ -73,15 +96,32 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blocker", choices=BLOCKERS.names(),
+                        default="schema-aware",
+                        help="registered blocking technique (default: %(default)s)")
+    parser.add_argument("--weighting", choices=WEIGHTINGS.names(),
+                        default="chi_h",
+                        help="registered edge weighting (default: %(default)s)")
+    parser.add_argument("--pruning", choices=PRUNERS.names(),
+                        default="blast",
+                        help="registered pruning scheme (default: %(default)s)")
     parser.add_argument("--induction", choices=("lmi", "ac"), default="lmi")
     parser.add_argument("--alpha", type=float, default=0.9)
     parser.add_argument("--use-lsh", action="store_true")
     parser.add_argument("--lsh-threshold", type=float, default=0.4)
+    parser.add_argument("--min-token-length", type=int, default=2,
+                        help="shortest token used as a blocking key")
+    parser.add_argument("--purging-ratio", type=float, default=0.5,
+                        help="Block Purging max profile fraction per block")
+    parser.add_argument("--filtering-ratio", type=float, default=0.8,
+                        help="Block Filtering retained fraction per profile")
     parser.add_argument("--no-entropy", action="store_true",
                         help="disable the aggregate-entropy weighting factor")
     parser.add_argument("--pruning-c", type=float, default=2.0)
     parser.add_argument("--pruning-d", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--stage-report", action="store_true",
+                        help="print the per-stage instrumentation table")
 
 
 def _config_from(args: argparse.Namespace) -> BlastConfig:
@@ -90,11 +130,29 @@ def _config_from(args: argparse.Namespace) -> BlastConfig:
         alpha=args.alpha,
         use_lsh=args.use_lsh,
         lsh_threshold=args.lsh_threshold,
+        min_token_length=args.min_token_length,
+        purging_ratio=args.purging_ratio,
+        filtering_ratio=args.filtering_ratio,
         use_entropy=not args.no_entropy,
         pruning_c=args.pruning_c,
         pruning_d=args.pruning_d,
         seed=args.seed,
     )
+
+
+def _run_pipeline(args: argparse.Namespace, dataset: ERDataset):
+    # The weighting is resolved through the registry (not BlastConfig) so
+    # that custom components registered via @register_weighting work too.
+    pipeline = build_pipeline(
+        _config_from(args),
+        blocker=args.blocker,
+        weighting=args.weighting,
+        pruning=args.pruning,
+    )
+    result = pipeline.run(dataset)
+    if args.stage_report:
+        print(result.report())
+    return result
 
 
 def _dataset_from(args: argparse.Namespace,
@@ -123,7 +181,7 @@ def _write_pairs(result, dataset: ERDataset, output: Path) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     dataset = _dataset_from(args)
-    result = Blast(_config_from(args)).run(dataset)
+    result = _run_pipeline(args, dataset)
     count = _write_pairs(result, dataset, args.output)
     print(f"wrote {count} candidate pairs to {args.output} "
           f"(overhead {result.overhead_seconds:.2f}s, "
@@ -135,7 +193,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     truth = load_ground_truth(args.ground_truth,
                               clean_clean=args.right is not None)
     dataset = _dataset_from(args, truth)
-    result = Blast(_config_from(args)).run(dataset)
+    result = _run_pipeline(args, dataset)
     quality = evaluate_blocks(result.blocks, dataset)
     print(f"PC={quality.pair_completeness:.4f} PQ={quality.pair_quality:.6f} "
           f"F1={quality.f1:.4f} comparisons={quality.comparisons} "

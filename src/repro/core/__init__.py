@@ -1,6 +1,61 @@
-"""The BLAST pipeline: the paper's primary contribution, end to end."""
+"""The BLAST pipeline: stages, registries, and the classic facade."""
 
 from repro.core.config import BlastConfig
 from repro.core.pipeline import Blast, BlastResult, prepare_blocks
+from repro.core.registry import (
+    BLOCKERS,
+    PRUNERS,
+    WEIGHTINGS,
+    Registry,
+    build_pipeline,
+    register_blocker,
+    register_pruning,
+    register_weighting,
+)
+from repro.core.stages import (
+    BaseStage,
+    BlockerStage,
+    BlockFilteringStage,
+    BlockPurgingStage,
+    MetaBlockingStage,
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    SchemaAwareBlockingStage,
+    SchemaExtraction,
+    Stage,
+    StageReport,
+    TokenBlockingStage,
+    compose,
+)
 
-__all__ = ["Blast", "BlastConfig", "BlastResult", "prepare_blocks"]
+__all__ = [
+    "Blast",
+    "BlastConfig",
+    "BlastResult",
+    "prepare_blocks",
+    # stages
+    "Stage",
+    "BaseStage",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineError",
+    "StageReport",
+    "SchemaExtraction",
+    "TokenBlockingStage",
+    "SchemaAwareBlockingStage",
+    "BlockerStage",
+    "BlockPurgingStage",
+    "BlockFilteringStage",
+    "MetaBlockingStage",
+    "compose",
+    # registry
+    "Registry",
+    "BLOCKERS",
+    "WEIGHTINGS",
+    "PRUNERS",
+    "register_blocker",
+    "register_weighting",
+    "register_pruning",
+    "build_pipeline",
+]

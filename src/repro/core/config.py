@@ -74,7 +74,7 @@ class BlastConfig:
     purging_ratio: float = 0.5
     filtering_ratio: float = 0.8
     # Phase 3
-    weighting: WeightingScheme = WeightingScheme.CHI_H
+    weighting: WeightingScheme | str = WeightingScheme.CHI_H
     use_entropy: bool = True
     entropy_boost: bool = False
     pruning_c: float = 2.0
@@ -82,6 +82,18 @@ class BlastConfig:
     seed: int | None = None
 
     def __post_init__(self) -> None:
+        # Accept registry names ("cbs", "chi_h", ...) wherever a scheme is
+        # expected, so configs built from CLI flags or files stay plain.
+        if not isinstance(self.weighting, WeightingScheme):
+            try:
+                object.__setattr__(
+                    self, "weighting", WeightingScheme(self.weighting)
+                )
+            except ValueError:
+                valid = ", ".join(s.value for s in WeightingScheme)
+                raise ValueError(
+                    f"unknown weighting {self.weighting!r}; valid: {valid}"
+                ) from None
         if self.induction not in ("lmi", "ac"):
             raise ValueError(f"induction must be 'lmi' or 'ac', got {self.induction!r}")
         if self.representation not in ("binary", "tfidf"):
@@ -99,6 +111,22 @@ class BlastConfig:
         if not 0.0 < self.lsh_threshold < 1.0:
             raise ValueError(
                 f"lsh_threshold must be in (0, 1), got {self.lsh_threshold}"
+            )
+        if self.lsh_num_hashes < 1:
+            raise ValueError(
+                f"lsh_num_hashes must be positive, got {self.lsh_num_hashes}"
+            )
+        if self.min_token_length < 1:
+            raise ValueError(
+                f"min_token_length must be positive, got {self.min_token_length}"
+            )
+        if not 0.0 < self.purging_ratio <= 1.0:
+            raise ValueError(
+                f"purging_ratio must be in (0, 1], got {self.purging_ratio}"
+            )
+        if not 0.0 < self.filtering_ratio <= 1.0:
+            raise ValueError(
+                f"filtering_ratio must be in (0, 1], got {self.filtering_ratio}"
             )
         if self.pruning_c <= 0 or self.pruning_d <= 0:
             raise ValueError("pruning_c and pruning_d must be positive")

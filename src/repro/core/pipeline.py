@@ -1,4 +1,4 @@
-"""The BLAST pipeline (Figure 4): the paper's three phases, end to end.
+"""The BLAST facade (Figure 4): the paper's three phases, end to end.
 
 Phase 1  loose schema information extraction — attribute-match induction
          (LMI or AC, optionally behind the LSH pre-processing step) plus
@@ -11,54 +11,39 @@ Phase 3  loosely schema-aware meta-blocking — chi-squared x entropy edge
 Works for both clean-clean and dirty ER (Section 4.5): for dirty input,
 attribute matching runs within the single source and the meta-blocking is
 unchanged.
+
+Since the stage/registry redesign (see DESIGN.md) this module is a thin
+facade: :class:`Blast` composes the default five-stage
+:class:`repro.core.stages.Pipeline`, and every ablation or baseline is the
+same pipeline with stages swapped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.blocking.base import BlockCollection
-from repro.blocking.filtering import block_filtering
-from repro.blocking.purging import block_purging
-from repro.blocking.schema_aware import LooselySchemaAwareBlocking, make_key_entropy
-from repro.blocking.token import TokenBlocking
+from repro.blocking.schema_aware import make_key_entropy
 from repro.core.config import BlastConfig
+from repro.core.registry import build_pipeline
+from repro.core.stages import (
+    BlastResult,
+    BlockFilteringStage,
+    BlockPurgingStage,
+    Pipeline,
+    PipelineContext,
+    SchemaAwareBlockingStage,
+    SchemaExtraction,
+    TokenBlockingStage,
+)
 from repro.data.dataset import ERDataset
 from repro.graph.metablocking import MetaBlocker
 from repro.graph.pruning import BlastPruning
-from repro.lsh.banding import lsh_candidate_pairs
-from repro.schema.attribute_clustering import AttributeClustering
-from repro.schema.attribute_profile import build_attribute_profiles
-from repro.schema.entropy import extract_loose_schema_entropies
-from repro.schema.lmi import LooseAttributeMatchInduction
 from repro.schema.partition import AttributePartitioning
-from repro.utils.timer import Timer
 
-
-@dataclass
-class BlastResult:
-    """Everything the pipeline produced, phase by phase."""
-
-    blocks: BlockCollection
-    """The final restructured block collection (one comparison per block)."""
-
-    initial_blocks: BlockCollection
-    """The Phase 2 collection fed to meta-blocking (purged and filtered)."""
-
-    partitioning: AttributePartitioning
-    """The attributes partitioning with aggregate entropies attached."""
-
-    phase_seconds: dict[str, float] = field(default_factory=dict)
-    """Wall-clock seconds per phase (keys: schema, blocking, metablocking)."""
-
-    @property
-    def overhead_seconds(self) -> float:
-        """Total overhead time ``to`` (the paper's Tables 4, 5)."""
-        return sum(self.phase_seconds.values())
+__all__ = ["Blast", "BlastResult", "prepare_blocks"]
 
 
 class Blast:
-    """The BLAST system.
+    """The BLAST system: a facade over the default stage pipeline.
 
     Example
     -------
@@ -73,79 +58,41 @@ class Blast:
     def __init__(self, config: BlastConfig | None = None) -> None:
         self.config = config or BlastConfig()
 
+    @classmethod
+    def default_pipeline(cls, config: BlastConfig | None = None) -> Pipeline:
+        """The paper's five-stage pipeline for *config*.
+
+        ``schema-extraction -> schema-aware-blocking -> block-purging ->
+        block-filtering -> meta-blocking`` — the composition ``run()``
+        executes, exposed so callers can reorder, drop, or swap stages.
+        """
+        return build_pipeline(config)
+
+    def pipeline(self) -> Pipeline:
+        """This instance's pipeline (built from its config)."""
+        return self.default_pipeline(self.config)
+
+    def run(self, dataset: ERDataset) -> BlastResult:
+        """Execute all three phases on *dataset*."""
+        return self.pipeline().run(dataset)
+
     def extract_loose_schema(self, dataset: ERDataset) -> AttributePartitioning:
         """Phase 1: attributes partitioning + aggregate entropies."""
-        config = self.config
-        if config.representation == "tfidf":
-            partitioning = self._extract_with_tfidf(dataset)
-            return extract_loose_schema_entropies(
-                partitioning, dataset.collection1, dataset.collection2
-            )
-        profiles1 = build_attribute_profiles(
-            dataset.collection1, source=0, min_token_length=config.min_token_length
-        )
-        profiles2 = (
-            build_attribute_profiles(
-                dataset.collection2, source=1,
-                min_token_length=config.min_token_length,
-            )
-            if dataset.collection2 is not None
-            else None
-        )
-
-        candidates = None
-        if config.use_lsh:
-            candidates = lsh_candidate_pairs(
-                profiles1,
-                profiles2,
-                threshold=config.lsh_threshold,
-                num_hashes=config.lsh_num_hashes,
-                seed=config.seed,
-            )
-
-        if config.induction == "lmi":
-            induction = LooseAttributeMatchInduction(
-                alpha=config.alpha, glue_cluster=config.glue_cluster
-            )
-        else:
-            induction = AttributeClustering(glue_cluster=config.glue_cluster)
-        partitioning = induction.induce(profiles1, profiles2, candidates)
-        return extract_loose_schema_entropies(
-            partitioning, dataset.collection1, dataset.collection2
-        )
-
-    def _extract_with_tfidf(self, dataset: ERDataset) -> AttributePartitioning:
-        from repro.schema.representation import (
-            TfIdfAttributeModel,
-            tfidf_attribute_match_induction,
-        )
-
-        config = self.config
-        model = TfIdfAttributeModel(
-            dataset.collection1,
-            dataset.collection2,
-            min_token_length=config.min_token_length,
-        )
-        return tfidf_attribute_match_induction(
-            model,
-            method=config.induction,
-            alpha=config.alpha,
-            glue_cluster=config.glue_cluster,
-        )
+        return SchemaExtraction(self.config).extract(dataset)
 
     def build_blocks(
         self, dataset: ERDataset, partitioning: AttributePartitioning
     ) -> BlockCollection:
         """Phase 2: disambiguated Token Blocking + purging + filtering."""
         config = self.config
-        blocker = LooselySchemaAwareBlocking(
-            partitioning, min_token_length=config.min_token_length
-        )
-        blocks = blocker.build(dataset)
-        blocks = block_purging(
-            blocks, dataset.num_profiles, max_profile_ratio=config.purging_ratio
-        )
-        return block_filtering(blocks, ratio=config.filtering_ratio)
+        context = PipelineContext(dataset, partitioning=partitioning)
+        Pipeline([
+            SchemaAwareBlockingStage(min_token_length=config.min_token_length),
+            BlockPurgingStage(max_profile_ratio=config.purging_ratio),
+            BlockFilteringStage(ratio=config.filtering_ratio),
+        ]).execute(context)
+        assert context.blocks is not None
+        return context.blocks
 
     def meta_block(
         self, blocks: BlockCollection, partitioning: AttributePartitioning
@@ -160,25 +107,6 @@ class Blast:
         )
         return meta.run(blocks)
 
-    def run(self, dataset: ERDataset) -> BlastResult:
-        """Execute all three phases on *dataset*."""
-        timings: dict[str, float] = {}
-        with Timer() as t:
-            partitioning = self.extract_loose_schema(dataset)
-        timings["schema"] = t.elapsed
-        with Timer() as t:
-            initial = self.build_blocks(dataset, partitioning)
-        timings["blocking"] = t.elapsed
-        with Timer() as t:
-            final = self.meta_block(initial, partitioning)
-        timings["metablocking"] = t.elapsed
-        return BlastResult(
-            blocks=final,
-            initial_blocks=initial,
-            partitioning=partitioning,
-            phase_seconds=timings,
-        )
-
 
 def prepare_blocks(
     dataset: ERDataset,
@@ -192,15 +120,19 @@ def prepare_blocks(
     Token Blocking — plain when *partitioning* is ``None`` (the "T" rows of
     Tables 4/5), disambiguated otherwise (the "L" rows) — followed by Block
     Purging and Block Filtering.  Every comparison in the evaluation starts
-    from a collection produced here.
+    from a collection produced here.  Expressed as a pipeline composition
+    over a pre-seeded context.
     """
-    if partitioning is None:
-        blocks = TokenBlocking(min_token_length=min_token_length).build(dataset)
-    else:
-        blocks = LooselySchemaAwareBlocking(
-            partitioning, min_token_length=min_token_length
-        ).build(dataset)
-    blocks = block_purging(
-        blocks, dataset.num_profiles, max_profile_ratio=purging_ratio
+    blocking = (
+        TokenBlockingStage(min_token_length=min_token_length)
+        if partitioning is None
+        else SchemaAwareBlockingStage(min_token_length=min_token_length)
     )
-    return block_filtering(blocks, ratio=filtering_ratio)
+    context = PipelineContext(dataset, partitioning=partitioning)
+    Pipeline([
+        blocking,
+        BlockPurgingStage(max_profile_ratio=purging_ratio),
+        BlockFilteringStage(ratio=filtering_ratio),
+    ]).execute(context)
+    assert context.blocks is not None
+    return context.blocks

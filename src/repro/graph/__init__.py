@@ -7,6 +7,7 @@ from repro.graph.pruning import (
     BlastPruning,
     CardinalityEdgePruning,
     CardinalityNodePruning,
+    PruningScheme,
     WeightEdgePruning,
     WeightNodePruning,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "chi_squared",
     "WeightingScheme",
     "compute_weights",
+    "PruningScheme",
     "WeightEdgePruning",
     "CardinalityEdgePruning",
     "WeightNodePruning",

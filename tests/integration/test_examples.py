@@ -31,6 +31,13 @@ class TestExamples:
         assert "BLAST:" in out
         assert "precision (PQ) improved" in out
 
+    def test_custom_pipeline(self):
+        out = _run("custom_pipeline.py")
+        assert "explicit pipeline:" in out
+        assert "meta-blocking" in out  # the stage report table
+        assert "token+cbs:" in out and "qgrams+js:" in out
+        assert "blast-strict pruning:" in out
+
     def test_paper_walkthrough_reaches_figure_3c(self):
         out = _run("paper_walkthrough.py")
         assert "Figure 1b" in out and "Figure 3c" in out

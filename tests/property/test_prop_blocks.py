@@ -7,7 +7,7 @@ and the redundancy-free guarantee of meta-blocking.
 
 from hypothesis import given, strategies as st
 
-from repro.blocking.base import Block, BlockCollection, build_blocks
+from repro.blocking.base import BlockCollection, build_blocks
 from repro.blocking.filtering import block_filtering
 from repro.blocking.purging import block_purging
 from repro.graph import BlockingGraph, MetaBlocker, WeightingScheme, compute_weights

@@ -8,7 +8,7 @@ system must never violate, whatever the data looks like.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import Blast, BlastConfig, prepare_blocks
+from repro.core import Blast, BlastConfig
 from repro.datasets import samplers as s
 from repro.datasets.generator import (
     FieldSpec,

@@ -122,3 +122,75 @@ class TestEvaluate:
                      "--induction", "ac", "--alpha", "0.8", "--no-entropy",
                      "--pruning-c", "3.0"])
         assert code == 0
+
+    def test_blocking_flags_accepted(self, generated, capsys):
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--purging-ratio", "0.4", "--filtering-ratio", "0.7",
+                     "--min-token-length", "3"])
+        assert code == 0
+        assert "PC=" in capsys.readouterr().out
+
+    def test_registry_components_selectable(self, generated, capsys):
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--blocker", "token", "--weighting", "cbs",
+                     "--pruning", "wnp1"])
+        assert code == 0
+        assert "PC=" in capsys.readouterr().out
+
+    def test_custom_registered_weighting_usable(self, generated, capsys):
+        from repro.core.registry import WEIGHTINGS
+
+        name = "unit-cli-test"
+        if name not in WEIGHTINGS:  # survive test reruns in one process
+            WEIGHTINGS.register(
+                name, lambda graph: {edge: 1.0 for edge, _ in graph.edges()}
+            )
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--weighting", name])
+        assert code == 0
+        assert "PC=" in capsys.readouterr().out
+
+    def test_unregistered_component_rejected(self, generated):
+        with pytest.raises(SystemExit):
+            main(["evaluate",
+                  "--left", str(generated / "left.jsonl"),
+                  "--right", str(generated / "right.jsonl"),
+                  "--ground-truth", str(generated / "ground_truth.csv"),
+                  "--blocker", "sorted-neighborhood"])
+
+    def test_invalid_ratio_reported_as_error(self, generated, capsys):
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--purging-ratio", "0.0"])
+        assert code == 1
+        assert "purging_ratio" in capsys.readouterr().err
+
+    def test_stage_report_flag(self, generated, tmp_path, capsys):
+        code = main(["run", "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--stage-report",
+                     "--output", str(tmp_path / "pairs.csv")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema-extraction" in out and "meta-blocking" in out
+
+
+class TestHelp:
+    def test_help_lists_registered_components(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "blockers:" in out and "suffix-array" in out
+        assert "weightings:" in out and "chi_h" in out
+        assert "prunings:" in out and "blast" in out

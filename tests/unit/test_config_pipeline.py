@@ -17,15 +17,44 @@ class TestBlastConfig:
         assert config.purging_ratio == 0.5
         assert config.weighting is WeightingScheme.CHI_H
 
-    def test_validation(self):
+    @pytest.mark.parametrize("kwargs", [
+        {"induction": "magic"},
+        {"representation": "word2vec"},
+        {"representation": "tfidf", "use_lsh": True},
+        {"alpha": 0.0},
+        {"alpha": 1.5},
+        {"lsh_threshold": 0.0},
+        {"lsh_threshold": 1.0},
+        {"lsh_num_hashes": 0},
+        {"min_token_length": 0},
+        {"purging_ratio": 0.0},
+        {"purging_ratio": 1.1},
+        {"filtering_ratio": 0.0},
+        {"filtering_ratio": 1.0001},
+        {"pruning_c": 0.0},
+        {"pruning_d": -1.0},
+        {"weighting": "tf-idf"},
+    ])
+    def test_validation(self, kwargs):
         with pytest.raises(ValueError):
+            BlastConfig(**kwargs)
+
+    def test_validation_errors_name_the_offending_value(self):
+        with pytest.raises(ValueError, match="'magic'"):
             BlastConfig(induction="magic")
-        with pytest.raises(ValueError):
-            BlastConfig(alpha=0.0)
-        with pytest.raises(ValueError):
-            BlastConfig(lsh_threshold=1.0)
-        with pytest.raises(ValueError):
-            BlastConfig(pruning_c=0.0)
+        with pytest.raises(ValueError, match="0.0"):
+            BlastConfig(purging_ratio=0.0)
+        with pytest.raises(ValueError, match="chi_h"):
+            BlastConfig(weighting="nope")  # lists the valid schemes
+
+    def test_weighting_accepts_registry_names(self):
+        assert BlastConfig(weighting="cbs").weighting is WeightingScheme.CBS
+        assert BlastConfig(weighting="chi_h").weighting is WeightingScheme.CHI_H
+
+    def test_boundary_values_accepted(self):
+        config = BlastConfig(purging_ratio=1.0, filtering_ratio=1.0,
+                             alpha=1.0, min_token_length=1)
+        assert config.purging_ratio == 1.0
 
     def test_frozen(self):
         config = BlastConfig()

@@ -13,6 +13,7 @@ import pytest
 
 MODULE_NAMES = (
     "repro",  # the package-level quickstart example
+    "repro.core.stages",
     "repro.utils.tokenize",
     "repro.utils.timer",
     "repro.data.profile",

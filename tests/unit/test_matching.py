@@ -1,7 +1,5 @@
 """Tests for the matching substrate."""
 
-import pytest
-
 from repro.blocking import TokenBlocking
 from repro.graph import blocks_from_edges
 from repro.matching import JaccardMatcher, resolve_entities

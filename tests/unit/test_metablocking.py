@@ -1,7 +1,5 @@
 """Tests for the MetaBlocker driver."""
 
-import pytest
-
 from repro.blocking import TokenBlocking
 from repro.graph import MetaBlocker, WeightingScheme, blocks_from_edges
 from repro.graph.pruning import WeightNodePruning

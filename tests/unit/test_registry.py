@@ -1,0 +1,115 @@
+"""Tests for the component registry (repro.core.registry)."""
+
+import pytest
+
+from repro.core import BlastConfig, build_pipeline
+from repro.core.registry import BLOCKERS, PRUNERS, WEIGHTINGS, Registry
+from repro.graph.pruning import PruningScheme
+from repro.graph.weights import WeightingScheme
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_decorator_registration(self):
+        registry = Registry("widget")
+
+        @registry.register("factory")
+        def make():
+            return "made"
+
+        assert registry.get("factory") is make
+        assert make() == "made"  # the decorator returns the function intact
+
+    def test_duplicate_registration_raises(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a", 2)
+        assert registry.get("a") == 1  # first registration wins
+
+    def test_unknown_name_lists_valid_names(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        registry.register("beta", 2)
+        with pytest.raises(ValueError) as excinfo:
+            registry.get("gamma")
+        message = str(excinfo.value)
+        assert "gamma" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_empty_or_non_string_names_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(ValueError, match="non-empty string"):
+            registry.register("", 1)
+        with pytest.raises(ValueError, match="non-empty string"):
+            registry.register(3, 1)
+
+    def test_names_sorted(self):
+        registry = Registry("widget")
+        for name in ("zeta", "alpha", "mid"):
+            registry.register(name, name)
+        assert registry.names() == ("alpha", "mid", "zeta")
+        assert list(registry) == ["alpha", "mid", "zeta"]
+
+
+class TestBuiltinRegistrations:
+    def test_blockers(self):
+        assert set(BLOCKERS.names()) >= {
+            "canopy", "qgrams", "schema-aware", "suffix-array", "token"
+        }
+
+    def test_weightings_cover_every_scheme(self):
+        for scheme in WeightingScheme:
+            assert WEIGHTINGS.get(scheme.value) is scheme
+
+    def test_prunings(self):
+        assert set(PRUNERS.names()) >= {
+            "blast", "cep", "cnp1", "cnp2", "wep", "wnp1", "wnp2"
+        }
+        for name in PRUNERS.names():
+            assert isinstance(PRUNERS.get(name)(BlastConfig()), PruningScheme)
+
+    def test_unknown_blocker_error_names_the_alternatives(self):
+        with pytest.raises(ValueError) as excinfo:
+            BLOCKERS.get("sorted-neighborhood")
+        assert "suffix-array" in str(excinfo.value)
+
+
+class TestBuildPipeline:
+    def test_schema_aware_gets_schema_stage_prepended(self):
+        assert build_pipeline().stage_names == (
+            "schema-extraction",
+            "schema-aware-blocking",
+            "block-purging",
+            "block-filtering",
+            "meta-blocking",
+        )
+
+    def test_schema_free_blocker_skips_schema_stage(self):
+        assert build_pipeline(blocker="token").stage_names == (
+            "token-blocking",
+            "block-purging",
+            "block-filtering",
+            "meta-blocking",
+        )
+
+    def test_registry_names_resolve_end_to_end(self, tiny_clean_clean):
+        pipeline = build_pipeline(
+            blocker="suffix-array", weighting="cbs", pruning="wnp1"
+        )
+        result = pipeline.run(tiny_clean_clean)
+        assert result.blocks.aggregate_cardinality == len(result.blocks)
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ValueError, match="unknown blocker"):
+            build_pipeline(blocker="nope")
+        with pytest.raises(ValueError, match="unknown weighting"):
+            build_pipeline(weighting="nope")
+        with pytest.raises(ValueError, match="unknown pruning"):
+            build_pipeline(pruning="nope")

@@ -1,0 +1,222 @@
+"""Tests for the stage-based pipeline API (repro.core.stages)."""
+
+import pytest
+
+from repro.blocking.qgrams import QGramsBlocking
+from repro.core import (
+    Blast,
+    BlastConfig,
+    BlockerStage,
+    BlockFilteringStage,
+    BlockPurgingStage,
+    MetaBlockingStage,
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    SchemaAwareBlockingStage,
+    SchemaExtraction,
+    TokenBlockingStage,
+    build_pipeline,
+    compose,
+    prepare_blocks,
+)
+from repro.datasets import load_clean_clean
+
+
+def canonical(collection):
+    """A comparable, fully-ordered rendering of a block collection."""
+    return [
+        (block.key, sorted(block.left), sorted(block.right or []))
+        for block in collection
+    ]
+
+
+@pytest.fixture(scope="module")
+def seeded_benchmark():
+    """A seeded real benchmark dataset (acceptance-criterion workload)."""
+    return load_clean_clean("ar1", scale=0.2, seed=42)
+
+
+class TestPipelineEquivalence:
+    def test_default_pipeline_matches_blast_run(self, seeded_benchmark):
+        facade = Blast().run(seeded_benchmark)
+        pipeline = Blast.default_pipeline().run(seeded_benchmark)
+        assert canonical(pipeline.blocks) == canonical(facade.blocks)
+        assert canonical(pipeline.initial_blocks) == canonical(
+            facade.initial_blocks
+        )
+
+    def test_registry_resolved_pipeline_matches_blast_run(self, seeded_benchmark):
+        config = BlastConfig()
+        facade = Blast(config).run(seeded_benchmark)
+        resolved = build_pipeline(
+            config, blocker="schema-aware", weighting="chi_h", pruning="blast"
+        ).run(seeded_benchmark)
+        assert canonical(resolved.blocks) == canonical(facade.blocks)
+
+    def test_explicit_stage_list_matches_blast_run(self, seeded_benchmark):
+        config = BlastConfig()
+        explicit = Pipeline([
+            SchemaExtraction(config),
+            SchemaAwareBlockingStage(min_token_length=config.min_token_length),
+            BlockPurgingStage(max_profile_ratio=config.purging_ratio),
+            BlockFilteringStage(ratio=config.filtering_ratio),
+            MetaBlockingStage.from_config(config),
+        ]).run(seeded_benchmark)
+        facade = Blast(config).run(seeded_benchmark)
+        assert canonical(explicit.blocks) == canonical(facade.blocks)
+
+    def test_prepare_blocks_matches_pipeline_composition(self, seeded_benchmark):
+        via_function = prepare_blocks(seeded_benchmark)
+        context = PipelineContext(seeded_benchmark)
+        Pipeline([
+            TokenBlockingStage(),
+            BlockPurgingStage(),
+            BlockFilteringStage(),
+        ]).execute(context)
+        assert canonical(context.blocks) == canonical(via_function)
+
+
+class TestStageReports:
+    def test_reports_cover_every_stage_in_order(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        assert [r.stage for r in result.stage_reports] == [
+            "schema-extraction",
+            "schema-aware-blocking",
+            "block-purging",
+            "block-filtering",
+            "meta-blocking",
+        ]
+        assert all(r.seconds >= 0 for r in result.stage_reports)
+
+    def test_block_statistics_flow_between_stages(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        schema, blocking, purging, filtering, meta = result.stage_reports
+        # the schema stage touches no blocks
+        assert schema.blocks_in is None and schema.blocks_out is None
+        # the first blocking stage has no block input but produces some
+        assert blocking.blocks_in is None
+        assert blocking.blocks_out > 0
+        # each later stage's input equals the previous stage's output
+        assert purging.blocks_in == blocking.blocks_out
+        assert filtering.blocks_in == purging.blocks_out
+        assert meta.blocks_in == filtering.blocks_out
+        assert meta.comparisons_in == filtering.comparisons_out
+        # final collection is redundancy-free: one comparison per block
+        assert meta.comparisons_out == meta.blocks_out == len(result.blocks)
+
+    def test_phase_seconds_aggregates_reports(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        assert set(result.phase_seconds) == {"schema", "blocking", "metablocking"}
+        assert result.overhead_seconds == pytest.approx(
+            sum(r.seconds for r in result.stage_reports)
+        )
+
+    def test_report_renders_every_stage(self, tiny_clean_clean):
+        result = Blast().run(tiny_clean_clean)
+        text = result.report()
+        for report in result.stage_reports:
+            assert report.stage in text
+        assert "total" in text
+
+
+class TestPipelineValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            Pipeline([])
+
+    def test_non_stage_rejected(self):
+        with pytest.raises(TypeError, match="Stage protocol"):
+            Pipeline([object()])
+
+    def test_run_without_blocking_stage_fails(self, tiny_clean_clean):
+        with pytest.raises(PipelineError, match="no block collection"):
+            Pipeline([SchemaExtraction()]).run(tiny_clean_clean)
+
+    def test_schema_aware_blocking_needs_partitioning(self, tiny_clean_clean):
+        with pytest.raises(PipelineError, match="schema-aware-blocking"):
+            Pipeline([SchemaAwareBlockingStage()]).run(tiny_clean_clean)
+
+    def test_meta_blocking_needs_blocks(self, tiny_clean_clean):
+        with pytest.raises(PipelineError, match="meta-blocking"):
+            MetaBlockingStage().apply(PipelineContext(tiny_clean_clean))
+
+
+class TestStageAdapters:
+    def test_blocker_stage_wraps_any_blocker(self, tiny_clean_clean):
+        result = Pipeline([
+            BlockerStage(QGramsBlocking(q=3), name="qgrams"),
+            BlockPurgingStage(),
+            BlockFilteringStage(),
+            MetaBlockingStage(),
+        ]).run(tiny_clean_clean)
+        assert len(result.blocks) > 0
+        assert result.partitioning is None
+        assert result.stage_reports[0].stage == "qgrams"
+
+    def test_blocker_stage_rejects_non_blockers(self):
+        with pytest.raises(TypeError, match="build"):
+            BlockerStage(object())
+
+    def test_custom_callable_weighting(self, tiny_clean_clean):
+        def unit_weights(graph):
+            return {edge: 1.0 for edge, _ in graph.edges()}
+
+        result = Pipeline([
+            TokenBlockingStage(),
+            MetaBlockingStage(weighting=unit_weights),
+        ]).run(tiny_clean_clean)
+        # every edge has the maximal weight, so every edge survives
+        assert len(result.blocks) == len(result.initial_blocks.distinct_pairs())
+
+    def test_compose_flattens_nested_sequences(self):
+        pipeline = compose(
+            TokenBlockingStage(), [BlockPurgingStage(), BlockFilteringStage()]
+        )
+        assert pipeline.stage_names == (
+            "token-blocking", "block-purging", "block-filtering"
+        )
+
+    def test_duck_typed_stage(self, tiny_clean_clean):
+        class UpperBound:
+            name = "upper-bound"
+            phase = "blocking"
+
+            def apply(self, context):
+                context.blocks = context.blocks.filter_blocks(
+                    lambda block: block.num_comparisons <= 2
+                )
+
+        result = Pipeline([TokenBlockingStage(), UpperBound()]).run(
+            tiny_clean_clean
+        )
+        assert all(b.num_comparisons <= 2 for b in result.blocks)
+        assert result.stage_reports[1].stage == "upper-bound"
+
+
+class TestAblationCompositions:
+    """The Figure 8 configurations as stage swaps (see DESIGN.md)."""
+
+    def test_chi_ablation_entropy_off(self, tiny_clean_clean):
+        chi = Pipeline([
+            SchemaExtraction(),
+            SchemaAwareBlockingStage(),
+            BlockPurgingStage(),
+            BlockFilteringStage(),
+            MetaBlockingStage(use_entropy=False),
+        ]).run(tiny_clean_clean)
+        assert len(chi.blocks) > 0
+
+    def test_wsh_ablation_entropy_boosted_traditional(self, tiny_clean_clean):
+        from repro.graph import WeightingScheme
+
+        wsh = Pipeline([
+            SchemaExtraction(),
+            SchemaAwareBlockingStage(),
+            BlockPurgingStage(),
+            BlockFilteringStage(),
+            MetaBlockingStage(
+                weighting=WeightingScheme.JS, entropy_boost=True
+            ),
+        ]).run(tiny_clean_clean)
+        assert len(wsh.blocks) > 0

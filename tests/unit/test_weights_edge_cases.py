@@ -1,7 +1,5 @@
 """Edge-case tests for the weighting schemes beyond the happy path."""
 
-import pytest
-
 from repro.blocking import TokenBlocking
 from repro.blocking.base import Block, BlockCollection
 from repro.graph import BlockingGraph, WeightingScheme, compute_weights
