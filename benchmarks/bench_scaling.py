@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Scaling benchmark: python vs vectorized meta-blocking backends.
+
+Builds a synthetic clean-clean workload (~10k profiles by default),
+prepares the blocking-graph input once (token blocking -> purging ->
+filtering), then times the full meta-blocking hot path — graph
+materialization, edge weighting, pruning, block rebuild — under both
+registered backends and verifies they retain the identical edge set.
+
+Results are appended per weighting scheme and written as JSON (default:
+``BENCH_metablocking.json`` at the repository root), so the speedup is a
+recorded, regression-checkable artifact::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py            # full run
+    PYTHONPATH=src python benchmarks/bench_scaling.py --smoke    # CI-sized
+
+Not a pytest module — run it as a script (the pytest-benchmark suite for
+the paper's tables lives in the ``bench_table*.py`` files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.blocking.base import BlockCollection  # noqa: E402
+from repro.core import prepare_blocks  # noqa: E402
+from repro.core.registry import BACKENDS  # noqa: E402
+from repro.datasets import load_clean_clean  # noqa: E402
+from repro.graph import MetaBlocker, WeightingScheme  # noqa: E402
+from repro.graph.pruning import BlastPruning  # noqa: E402
+
+#: Profiles per unit scale of the "ar1" generator (size1 + size2).
+_AR1_PROFILES_PER_SCALE = 650 + 580
+
+
+def build_workload(profiles: int, seed: int) -> tuple[BlockCollection, int]:
+    """A prepared (purged + filtered) token-blocking collection + its size."""
+    scale = profiles / _AR1_PROFILES_PER_SCALE
+    dataset = load_clean_clean("ar1", scale=scale, seed=seed)
+    return prepare_blocks(dataset), dataset.num_profiles
+
+
+def time_backend(
+    backend: str,
+    blocks: BlockCollection,
+    scheme: WeightingScheme,
+    repeats: int,
+) -> tuple[float, BlockCollection]:
+    """Best-of-*repeats* wall-clock seconds for one full meta-blocking run."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        # Cold start for every repetition: drop the CSR entity-index
+        # cache so the vectorized timing always includes the collection
+        # lowering, mirroring the python path rebuilding its dict graph
+        # from scratch each time.
+        blocks.__dict__.pop("entity_index", None)
+        meta = MetaBlocker(
+            weighting=scheme, pruning=BlastPruning(), backend=backend
+        )
+        start = time.perf_counter()
+        out = meta.run(blocks)
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def run(args: argparse.Namespace) -> dict:
+    profiles = 1_500 if args.smoke else args.profiles
+    print(f"building workload (~{profiles} profiles, seed={args.seed}) ...")
+    blocks, num_profiles = build_workload(profiles, args.seed)
+    print(
+        f"  {len(blocks)} blocks, {blocks.aggregate_cardinality:,} "
+        f"comparisons, {blocks.num_indexed_profiles} indexed profiles"
+    )
+
+    schemes = [WeightingScheme(name) for name in args.schemes.split(",")]
+    runs = []
+    for scheme in schemes:
+        py_seconds, py_blocks = time_backend(
+            "python", blocks, scheme, args.repeats
+        )
+        vec_seconds, vec_blocks = time_backend(
+            "vectorized", blocks, scheme, args.repeats
+        )
+        equivalent = py_blocks.distinct_pairs() == vec_blocks.distinct_pairs()
+        speedup = py_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+        runs.append(
+            {
+                "scheme": scheme.value,
+                "pruning": "blast",
+                "python_seconds": round(py_seconds, 6),
+                "vectorized_seconds": round(vec_seconds, 6),
+                "speedup": round(speedup, 2),
+                "retained_edges": len(vec_blocks),
+                "equivalent": equivalent,
+            }
+        )
+        print(
+            f"  {scheme.value:>6}: python {py_seconds:8.3f}s | vectorized "
+            f"{vec_seconds:8.3f}s | {speedup:6.1f}x | "
+            f"{'OK' if equivalent else 'MISMATCH'}"
+        )
+
+    speedups = [r["speedup"] for r in runs]
+    report = {
+        "benchmark": "metablocking_backend_scaling",
+        "workload": "ar1-synthetic/token-blocking/purged+filtered",
+        "smoke": bool(args.smoke),
+        "profiles": num_profiles,
+        "blocks": len(blocks),
+        "aggregate_comparisons": blocks.aggregate_cardinality,
+        "distinct_pairs": blocks.count_distinct_pairs(),
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "backends": list(BACKENDS.names()),
+        "runs": runs,
+        "speedup_min": min(speedups),
+        "speedup_max": max(speedups),
+        "all_equivalent": all(r["equivalent"] for r in runs),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profiles", type=int, default=10_000,
+                        help="approximate workload size (default: %(default)s)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized workload (~1.5k profiles)")
+    parser.add_argument("--schemes", default="chi_h,cbs,js,ecbs,ejs,arcs",
+                        help="comma-separated weighting schemes to time")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="repetitions per backend; best time wins")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_metablocking.json",
+                        help="JSON report path (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if any scheme speeds up less")
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    if not report["all_equivalent"]:
+        print("error: backends disagree on the retained edge set",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and report["speedup_min"] < args.min_speedup:
+        print(f"error: speedup {report['speedup_min']}x below the "
+              f"{args.min_speedup}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

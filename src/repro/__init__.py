@@ -42,6 +42,7 @@ from repro.core import (
     TokenBlockingStage,
     build_pipeline,
     prepare_blocks,
+    register_backend,
     register_blocker,
     register_pruning,
     register_weighting,
@@ -74,6 +75,7 @@ __all__ = [
     "register_blocker",
     "register_weighting",
     "register_pruning",
+    "register_backend",
     "EntityProfile",
     "EntityCollection",
     "GroundTruth",

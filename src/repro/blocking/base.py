@@ -121,17 +121,57 @@ class BlockCollection(Sequence[Block]):
         """How many distinct profiles appear in at least one block."""
         return len(self.profile_block_sets)
 
+    @cached_property
+    def entity_index(self):
+        """CSR array view of the collection (cached).
+
+        The flat ``block_ptr``/``entity_ids``/cardinality arrays the
+        vectorized meta-blocking backend and the pair-streaming helpers
+        operate on; see :class:`repro.graph.entity_index.EntityIndex`.
+        """
+        from repro.graph.entity_index import EntityIndex
+
+        return EntityIndex.from_collection(self)
+
+    def iter_distinct_pairs(self) -> Iterator[tuple[int, int]]:
+        """Stream the distinct comparison pairs in lexicographic order.
+
+        Deduplication happens array-side when this method is *called*
+        (one enumeration + sort, transiently O(||B||) array memory, a
+        fraction of a Python set of tuples); the returned iterator then
+        yields without further per-pair work.  Prefer this over
+        :meth:`distinct_pairs` whenever a single pass is enough
+        (matching, counting, writing pairs out).
+        """
+        src, dst = self.entity_index.distinct_pair_arrays()
+
+        def generate() -> Iterator[tuple[int, int]]:
+            chunk = 1 << 16
+            for start in range(0, len(src), chunk):
+                yield from zip(
+                    src[start : start + chunk].tolist(),
+                    dst[start : start + chunk].tolist(),
+                )
+
+        return generate()
+
+    def count_distinct_pairs(self) -> int:
+        """Number of distinct comparison pairs, without a Python pair set.
+
+        Still enumerates every comparison array-side (transiently
+        O(||B||) memory, like :meth:`iter_distinct_pairs`) — cheaper than
+        a set of tuples by a large constant factor, not asymptotically.
+        """
+        return len(self.entity_index.distinct_pair_arrays()[0])
+
     def distinct_pairs(self) -> set[tuple[int, int]]:
         """All distinct comparison pairs implied by the collection.
 
-        Materializes the pair set — only call on post-meta-blocking
-        collections or small inputs; redundancy-heavy collections can imply
-        orders of magnitude more pairs than profiles.
+        Materializes the pair set — only call when set semantics are
+        actually needed; :meth:`iter_distinct_pairs` streams the same
+        pairs and :meth:`count_distinct_pairs` counts them.
         """
-        pairs: set[tuple[int, int]] = set()
-        for block in self._blocks:
-            pairs.update(block.iter_pairs())
-        return pairs
+        return set(self.iter_distinct_pairs())
 
     def filter_blocks(self, predicate: Callable[[Block], bool]) -> "BlockCollection":
         """A new collection keeping only blocks satisfying *predicate*."""

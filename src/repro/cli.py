@@ -26,7 +26,7 @@ import sys
 from pathlib import Path
 
 from repro.core import BlastConfig, build_pipeline
-from repro.core.registry import BLOCKERS, PRUNERS, WEIGHTINGS
+from repro.core.registry import BACKENDS, BLOCKERS, PRUNERS, WEIGHTINGS
 from repro.data.dataset import ERDataset
 from repro.data.io import (
     load_collection,
@@ -45,10 +45,11 @@ def _registry_epilog() -> str:
     """The dynamic component listing appended to ``--help``."""
     return (
         "registered components (extensible via repro.register_blocker/"
-        "register_weighting/register_pruning):\n"
+        "register_weighting/register_pruning/register_backend):\n"
         f"  blockers:   {', '.join(BLOCKERS.names())}\n"
         f"  weightings: {', '.join(WEIGHTINGS.names())}\n"
-        f"  prunings:   {', '.join(PRUNERS.names())}"
+        f"  prunings:   {', '.join(PRUNERS.names())}\n"
+        f"  backends:   {', '.join(BACKENDS.names())}"
     )
 
 
@@ -105,6 +106,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pruning", choices=PRUNERS.names(),
                         default="blast",
                         help="registered pruning scheme (default: %(default)s)")
+    parser.add_argument("--backend", choices=BACKENDS.names(),
+                        default="vectorized",
+                        help="meta-blocking execution backend: the numpy "
+                             "array path or the pure-python reference "
+                             "(default: %(default)s)")
     parser.add_argument("--induction", choices=("lmi", "ac"), default="lmi")
     parser.add_argument("--alpha", type=float, default=0.9)
     parser.add_argument("--use-lsh", action="store_true")
@@ -136,6 +142,7 @@ def _config_from(args: argparse.Namespace) -> BlastConfig:
         use_entropy=not args.no_entropy,
         pruning_c=args.pruning_c,
         pruning_d=args.pruning_d,
+        backend=args.backend,
         seed=args.seed,
     )
 

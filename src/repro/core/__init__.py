@@ -3,11 +3,13 @@
 from repro.core.config import BlastConfig
 from repro.core.pipeline import Blast, BlastResult, prepare_blocks
 from repro.core.registry import (
+    BACKENDS,
     BLOCKERS,
     PRUNERS,
     WEIGHTINGS,
     Registry,
     build_pipeline,
+    register_backend,
     register_blocker,
     register_pruning,
     register_weighting,
@@ -54,8 +56,10 @@ __all__ = [
     "BLOCKERS",
     "WEIGHTINGS",
     "PRUNERS",
+    "BACKENDS",
     "register_blocker",
     "register_weighting",
     "register_pruning",
+    "register_backend",
     "build_pipeline",
 ]

@@ -57,6 +57,12 @@ class BlastConfig:
     pruning_c / pruning_d:
         The constants of BLAST's pruning rule ``theta_i = M_i / c``,
         ``theta_ij = (theta_i + theta_j) / d``.
+    backend:
+        Meta-blocking execution backend: ``"vectorized"`` (array-backed
+        numpy hot path, the default) or ``"python"`` (the pure-Python
+        reference) — any name registered in
+        ``repro.core.registry.BACKENDS``.  Both built-ins produce the
+        identical retained edge set.
     seed:
         Seed for the LSH hash functions.
     """
@@ -79,6 +85,7 @@ class BlastConfig:
     entropy_boost: bool = False
     pruning_c: float = 2.0
     pruning_d: float = 2.0
+    backend: str = "vectorized"
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -130,3 +137,9 @@ class BlastConfig:
             )
         if self.pruning_c <= 0 or self.pruning_d <= 0:
             raise ValueError("pruning_c and pruning_d must be positive")
+        # Backend names resolve through the BACKENDS registry at run time
+        # (importing it here would be circular); only basic shape is checked.
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(
+                f"backend must be a non-empty registry name, got {self.backend!r}"
+            )

@@ -104,6 +104,7 @@ class Blast:
             pruning=BlastPruning(c=config.pruning_c, d=config.pruning_d),
             entropy_boost=config.entropy_boost,
             key_entropy=make_key_entropy(partitioning) if config.use_entropy else None,
+            backend=config.backend,
         )
         return meta.run(blocks)
 

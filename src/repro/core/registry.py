@@ -17,7 +17,10 @@ flag set configures whichever component is selected:
 * ``BLOCKERS``   — ``name -> (config) -> Stage`` producing the block
   collection (token, schema-aware, qgrams, suffix-array, canopy);
 * ``WEIGHTINGS`` — ``name -> WeightingScheme | (graph) -> weights``;
-* ``PRUNERS``    — ``name -> (config) -> PruningScheme``.
+* ``PRUNERS``    — ``name -> (config) -> PruningScheme``;
+* ``BACKENDS``   — meta-blocking execution backends (``python`` reference
+  vs the array-backed ``vectorized`` default; see DESIGN.md "Backends &
+  performance").
 
 :func:`build_pipeline` assembles a full pipeline from registry names; it is
 what the CLI and ``Blast.default_pipeline`` run.
@@ -41,6 +44,7 @@ from repro.core.stages import (
     TokenBlockingStage,
     WeightingSpec,
 )
+from repro.graph.metablocking import reference_metablocking
 from repro.graph.pruning import (
     BlastPruning,
     CardinalityEdgePruning,
@@ -49,6 +53,7 @@ from repro.graph.pruning import (
     WeightEdgePruning,
     WeightNodePruning,
 )
+from repro.graph.vectorized import vectorized_metablocking
 from repro.graph.weights import WeightingScheme
 
 T = TypeVar("T")
@@ -127,10 +132,14 @@ BLOCKERS: Registry[Callable[[BlastConfig], Stage]] = Registry("blocker")
 WEIGHTINGS: Registry[WeightingSpec] = Registry("weighting")
 #: Pruning-scheme factories: ``name -> (config) -> PruningScheme``.
 PRUNERS: Registry[Callable[[BlastConfig], PruningScheme]] = Registry("pruning")
+#: Meta-blocking execution backends: ``name -> (collection, *, weighting,
+#: pruning, entropy_boost, key_entropy) -> list[Edge]`` (sorted edges).
+BACKENDS: Registry[Callable[..., list]] = Registry("backend")
 
 register_blocker = BLOCKERS.register
 register_weighting = WEIGHTINGS.register
 register_pruning = PRUNERS.register
+register_backend = BACKENDS.register
 
 
 # --- built-in blockers ------------------------------------------------------
@@ -180,6 +189,12 @@ def _canopy_blocker(config: BlastConfig) -> Stage:
 
 for _scheme in WeightingScheme:
     WEIGHTINGS.register(_scheme.value, _scheme)
+
+
+# --- built-in backends ------------------------------------------------------
+
+BACKENDS.register("python", reference_metablocking)
+BACKENDS.register("vectorized", vectorized_metablocking)
 
 
 # --- built-in prunings ------------------------------------------------------
@@ -269,6 +284,7 @@ def build_pipeline(
             pruning=pruning_scheme,
             entropy_boost=config.entropy_boost,
             use_entropy=config.use_entropy,
+            backend=config.backend,
         )
     )
     return Pipeline(stages)

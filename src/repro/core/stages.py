@@ -44,7 +44,7 @@ from repro.blocking.token import TokenBlocking
 from repro.core.config import BlastConfig
 from repro.data.dataset import ERDataset
 from repro.graph.blocking_graph import BlockingGraph, Edge
-from repro.graph.metablocking import MetaBlocker, blocks_from_edges
+from repro.graph.metablocking import MetaBlocker
 from repro.graph.pruning import BlastPruning, PruningScheme
 from repro.graph.weights import WeightingScheme
 from repro.schema.partition import AttributePartitioning
@@ -381,6 +381,11 @@ class MetaBlockingStage(BaseStage):
         Feed the partitioning's cluster entropies into the blocking graph.
         Requires ``context.partitioning``; with ``False`` (the ``chi``
         ablation) or a partitioning-free pipeline, every key counts 1.0.
+    backend:
+        Execution backend name (``"vectorized"`` default, ``"python"``
+        reference, or any ``register_backend`` addition).  Custom
+        weighting callables and pruning schemes automatically fall back
+        to the reference path, so any combination is valid.
 
     The collection the stage consumed is preserved under
     ``context.artifacts[INITIAL_BLOCKS]``.
@@ -395,11 +400,13 @@ class MetaBlockingStage(BaseStage):
         pruning: PruningScheme | None = None,
         entropy_boost: bool = False,
         use_entropy: bool = True,
+        backend: str = "vectorized",
     ) -> None:
         self.weighting = weighting
         self.pruning = pruning if pruning is not None else BlastPruning()
         self.entropy_boost = entropy_boost
         self.use_entropy = use_entropy
+        self.backend = backend
 
     @classmethod
     def from_config(cls, config: BlastConfig) -> "MetaBlockingStage":
@@ -409,6 +416,7 @@ class MetaBlockingStage(BaseStage):
             pruning=BlastPruning(c=config.pruning_c, d=config.pruning_d),
             entropy_boost=config.entropy_boost,
             use_entropy=config.use_entropy,
+            backend=config.backend,
         )
 
     def apply(self, context: PipelineContext) -> None:
@@ -419,20 +427,14 @@ class MetaBlockingStage(BaseStage):
             if self.use_entropy and context.partitioning is not None
             else None
         )
-        if isinstance(self.weighting, WeightingScheme):
-            meta = MetaBlocker(
-                weighting=self.weighting,
-                pruning=self.pruning,
-                entropy_boost=self.entropy_boost,
-                key_entropy=key_entropy,
-            )
-            context.blocks = meta.run(blocks)
-            return
-        # Custom weighting callable: build the graph once, weight, prune.
-        graph = BlockingGraph(blocks, key_entropy=key_entropy)
-        weights = self.weighting(graph)
-        retained = self.pruning.prune(graph, weights)
-        context.blocks = blocks_from_edges(retained, blocks.is_clean_clean)
+        meta = MetaBlocker(
+            weighting=self.weighting,
+            pruning=self.pruning,
+            entropy_boost=self.entropy_boost,
+            key_entropy=key_entropy,
+            backend=self.backend,
+        )
+        context.blocks = meta.run(blocks)
 
 
 @dataclass

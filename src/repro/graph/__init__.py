@@ -2,7 +2,12 @@
 
 from repro.graph.blocking_graph import BlockingGraph, EdgeStats
 from repro.graph.contingency import ContingencyTable, chi_squared
-from repro.graph.metablocking import MetaBlocker, blocks_from_edges
+from repro.graph.entity_index import EntityIndex
+from repro.graph.metablocking import (
+    MetaBlocker,
+    blocks_from_edges,
+    reference_metablocking,
+)
 from repro.graph.pruning import (
     BlastPruning,
     CardinalityEdgePruning,
@@ -11,11 +16,16 @@ from repro.graph.pruning import (
     WeightEdgePruning,
     WeightNodePruning,
 )
+from repro.graph.vectorized import ArrayBlockingGraph, vectorized_metablocking
 from repro.graph.weights import WeightingScheme, compute_weights
 
 __all__ = [
     "BlockingGraph",
     "EdgeStats",
+    "EntityIndex",
+    "ArrayBlockingGraph",
+    "reference_metablocking",
+    "vectorized_metablocking",
     "ContingencyTable",
     "chi_squared",
     "WeightingScheme",

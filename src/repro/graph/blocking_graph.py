@@ -105,9 +105,14 @@ class BlockingGraph:
     def num_edges(self) -> int:
         return len(self._edges)
 
+    @cached_property
+    def _sorted_edges(self) -> list[Edge]:
+        """Edges in lexicographic order, sorted once and reused."""
+        return sorted(self._edges)
+
     def edges(self) -> Iterator[tuple[Edge, EdgeStats]]:
         """Iterate over ``((i, j), stats)`` in deterministic order."""
-        for edge in sorted(self._edges):
+        for edge in self._sorted_edges:
             yield edge, self._edges[edge]
 
     def stats(self, edge: Edge) -> EdgeStats:
@@ -123,8 +128,13 @@ class BlockingGraph:
             out[j] = out.get(j, 0) + 1
         return out
 
+    @cached_property
     def adjacency(self) -> dict[int, list[Edge]]:
-        """Node -> list of incident edges (for node-centric pruning)."""
+        """Node -> list of incident edges (for node-centric pruning).
+
+        Cached: node-centric pruning schemes may consult it repeatedly
+        without rebuilding the full dict per ``prune()`` call.
+        """
         out: dict[int, list[Edge]] = {}
         for edge in self._edges:
             i, j = edge

@@ -4,6 +4,20 @@ Meta-blocking (Definition 2) restructures a block collection into one with
 far higher PQ and nearly identical PC.  After pruning, every retained edge
 becomes a block of exactly one comparison, so the output collection is
 redundancy-free by construction.
+
+Two result-equivalent execution backends exist, addressable by name
+through :data:`repro.core.registry.BACKENDS`:
+
+* ``"python"`` — :func:`reference_metablocking`, the dict-based reference
+  path over :class:`~repro.graph.blocking_graph.BlockingGraph`;
+* ``"vectorized"`` (the default) —
+  :func:`repro.graph.vectorized.vectorized_metablocking`, the array-backed
+  hot path; it delegates back to the reference for components it cannot
+  vectorize, so any registered backend accepts any weighting/pruning.
+
+A backend is a callable ``(collection, *, weighting, pruning,
+entropy_boost, key_entropy) -> list[Edge]`` returning the retained edges
+in lexicographic order.
 """
 
 from __future__ import annotations
@@ -18,20 +32,53 @@ from repro.graph.weights import WeightingScheme, compute_weights
 
 
 def blocks_from_edges(
-    edges: Iterable[Edge], is_clean_clean: bool
+    edges: Iterable[Edge], is_clean_clean: bool, *, presorted: bool = False
 ) -> BlockCollection:
     """One single-comparison block per retained edge.
 
     Keys encode the pair (``"e:i-j"``) purely for debuggability; nothing
-    downstream depends on them.
+    downstream depends on them.  Pass ``presorted=True`` when *edges*
+    already arrive in lexicographic order (backend outputs do) to skip
+    the deterministic re-sort.
     """
+    ordered = edges if presorted else sorted(edges)
     blocks = []
-    for i, j in sorted(edges):
+    for i, j in ordered:
         if is_clean_clean:
             blocks.append(Block(f"e:{i}-{j}", frozenset((i,)), frozenset((j,))))
         else:
             blocks.append(Block(f"e:{i}-{j}", frozenset((i, j))))
     return BlockCollection(blocks, is_clean_clean)
+
+
+def reference_metablocking(
+    collection: BlockCollection,
+    *,
+    weighting=WeightingScheme.CHI_H,
+    pruning: PruningScheme,
+    entropy_boost: bool = False,
+    key_entropy: KeyEntropyFn | None = None,
+) -> list[Edge]:
+    """The ``python`` backend: the pure-Python oracle path.
+
+    *weighting* may be a :class:`WeightingScheme` (or its string name) or
+    any callable ``graph -> {edge: weight}``.
+    """
+    graph = BlockingGraph(collection, key_entropy=key_entropy)
+    if callable(weighting) and not isinstance(weighting, WeightingScheme):
+        weights = weighting(graph)
+    else:
+        weights = compute_weights(
+            graph, scheme=weighting, entropy_boost=entropy_boost
+        )
+    return sorted(pruning.prune(graph, weights))
+
+
+def get_backend(name: str):
+    """Resolve a backend name through :data:`repro.core.registry.BACKENDS`."""
+    from repro.core.registry import BACKENDS
+
+    return BACKENDS.get(name)
 
 
 @dataclass
@@ -41,7 +88,8 @@ class MetaBlocker:
     Parameters
     ----------
     weighting:
-        Edge weighting scheme (BLAST's ``CHI_H`` by default).
+        Edge weighting scheme (BLAST's ``CHI_H`` by default) or a custom
+        callable ``graph -> {edge: weight}``.
     pruning:
         Pruning scheme (BLAST's max-based WNP by default).
     entropy_boost:
@@ -49,6 +97,11 @@ class MetaBlocker:
     key_entropy:
         Blocking-key -> cluster-entropy map; leave ``None`` for
         entropy-agnostic weighting (every key counts 1.0).
+    backend:
+        Execution backend: ``"vectorized"`` (array-backed, the default)
+        or ``"python"`` (the reference oracle) — or any name registered
+        via ``repro.core.registry.register_backend``.  Both built-ins
+        retain the identical edge set.
 
     Example
     -------
@@ -62,19 +115,29 @@ class MetaBlocker:
     pruning: PruningScheme = field(default_factory=BlastPruning)
     entropy_boost: bool = False
     key_entropy: KeyEntropyFn | None = None
+    backend: str = "vectorized"
 
     def build_graph(self, collection: BlockCollection) -> BlockingGraph:
-        """Materialize the blocking graph of *collection*."""
+        """Materialize the (reference) blocking graph of *collection*."""
         return BlockingGraph(collection, key_entropy=self.key_entropy)
+
+    def retained_edges(self, collection: BlockCollection) -> list[Edge]:
+        """The pruned edge set of *collection*, lexicographically sorted."""
+        return get_backend(self.backend)(
+            collection,
+            weighting=self.weighting,
+            pruning=self.pruning,
+            entropy_boost=self.entropy_boost,
+            key_entropy=self.key_entropy,
+        )
 
     def run(self, collection: BlockCollection) -> BlockCollection:
         """Restructure *collection*; returns the new (pair) block collection."""
-        graph = self.build_graph(collection)
-        weights = compute_weights(
-            graph, scheme=self.weighting, entropy_boost=self.entropy_boost
+        return blocks_from_edges(
+            self.retained_edges(collection),
+            collection.is_clean_clean,
+            presorted=True,
         )
-        retained = self.pruning.prune(graph, weights)
-        return blocks_from_edges(retained, collection.is_clean_clean)
 
     def run_detailed(
         self, collection: BlockCollection
@@ -82,7 +145,9 @@ class MetaBlocker:
         """Like :meth:`run` but also returns graph, weights and retained edges.
 
         Useful for inspection, ablations, and the supervised comparator that
-        needs raw edge features.
+        needs raw edge features.  Always runs the reference path (the
+        returned graph and weight dict are its artifacts); backends are
+        result-equivalent, so the retained set matches :meth:`run`.
         """
         graph = self.build_graph(collection)
         weights = compute_weights(
@@ -90,7 +155,9 @@ class MetaBlocker:
         )
         retained = self.pruning.prune(graph, weights)
         return (
-            blocks_from_edges(retained, collection.is_clean_clean),
+            blocks_from_edges(
+                sorted(retained), collection.is_clean_clean, presorted=True
+            ),
             graph,
             weights,
             retained,

@@ -157,7 +157,7 @@ class CardinalityNodePruning(PruningScheme):
             k = max(1, math.ceil(total_assignments / max(1, graph.num_nodes)))
 
         top_edges: dict[int, set[Edge]] = {}
-        for node, incident in graph.adjacency().items():
+        for node, incident in graph.adjacency.items():
             ranked = sorted(incident, key=lambda e: (-weights[e], e))
             top_edges[node] = set(ranked[:k])
 

@@ -64,13 +64,16 @@ class BlockCollectionStats:
 def block_collection_stats(collection: BlockCollection) -> BlockCollectionStats:
     """Compute :class:`BlockCollectionStats` for *collection*.
 
-    Materializes the distinct pair set — intended for purged/filtered or
-    meta-blocked collections, not for raw web-scale token blocking.
+    Distinct pairs are counted array-side (never materialized as a
+    Python set of tuples), which lowers the memory constant by an order
+    of magnitude — but the count still transiently enumerates all
+    ``||B||`` comparisons, so raw web-scale token blocking remains out
+    of scope.
     """
     sizes = sorted(block.size for block in collection)
     num_blocks = len(sizes)
     aggregate = collection.aggregate_cardinality
-    distinct = len(collection.distinct_pairs())
+    distinct = collection.count_distinct_pairs()
     block_sets = collection.profile_block_sets
     num_profiles = len(block_sets)
     if num_blocks == 0:

@@ -69,7 +69,7 @@ class TestAccumulation:
 
     def test_adjacency_lists_cover_all_edges(self, figure1_dirty):
         graph = BlockingGraph(TokenBlocking().build(figure1_dirty))
-        adjacency = graph.adjacency()
+        adjacency = graph.adjacency
         assert sum(len(v) for v in adjacency.values()) == 2 * graph.num_edges
 
     def test_counts(self, figure1_dirty):

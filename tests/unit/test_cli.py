@@ -159,6 +159,29 @@ class TestEvaluate:
         assert code == 0
         assert "PC=" in capsys.readouterr().out
 
+    def test_backend_selectable_and_equivalent(self, generated, tmp_path):
+        outputs = {}
+        for backend in ("python", "vectorized"):
+            output = tmp_path / f"pairs-{backend}.csv"
+            code = main(["evaluate",
+                         "--left", str(generated / "left.jsonl"),
+                         "--right", str(generated / "right.jsonl"),
+                         "--ground-truth", str(generated / "ground_truth.csv"),
+                         "--backend", backend,
+                         "--output", str(output)])
+            assert code == 0
+            with output.open() as handle:
+                outputs[backend] = sorted(csv.reader(handle))
+        assert outputs["python"] == outputs["vectorized"]
+
+    def test_unknown_backend_rejected(self, generated):
+        with pytest.raises(SystemExit):
+            main(["evaluate",
+                  "--left", str(generated / "left.jsonl"),
+                  "--right", str(generated / "right.jsonl"),
+                  "--ground-truth", str(generated / "ground_truth.csv"),
+                  "--backend", "gpu"])
+
     def test_unregistered_component_rejected(self, generated):
         with pytest.raises(SystemExit):
             main(["evaluate",
@@ -194,3 +217,4 @@ class TestHelp:
         assert "blockers:" in out and "suffix-array" in out
         assert "weightings:" in out and "chi_h" in out
         assert "prunings:" in out and "blast" in out
+        assert "backends:" in out and "vectorized" in out

@@ -1,0 +1,119 @@
+"""Tests for the CSR entity index (repro.graph.entity_index)."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.blocking.base import Block, BlockCollection
+from repro.graph.entity_index import _unrank_combinations
+
+
+def _clean_collection() -> BlockCollection:
+    return BlockCollection(
+        [
+            Block("a", frozenset({0, 1}), frozenset({5, 6})),
+            Block("b", frozenset({1}), frozenset({6})),
+            Block("empty", frozenset({2}), frozenset()),  # 0 comparisons
+        ],
+        True,
+    )
+
+
+def _dirty_collection() -> BlockCollection:
+    return BlockCollection(
+        [
+            Block("x", frozenset({3, 1, 0})),
+            Block("y", frozenset({2, 3})),
+        ],
+        False,
+    )
+
+
+class TestLayout:
+    def test_clean_clean_csr_arrays(self):
+        index = _clean_collection().entity_index
+        assert index.num_blocks == 3
+        assert index.keys == ("a", "b", "empty")
+        assert index.block_ptr.tolist() == [0, 4, 6, 7]
+        # Left members sorted, then right members sorted.
+        assert index.entity_ids.tolist() == [0, 1, 5, 6, 1, 6, 2]
+        assert index.block_split.tolist() == [2, 5, 7]
+        assert index.block_comparisons.tolist() == [4, 1, 0]
+
+    def test_dirty_split_equals_block_end(self):
+        index = _dirty_collection().entity_index
+        assert index.block_ptr.tolist() == [0, 3, 5]
+        assert index.block_split.tolist() == [3, 5]
+        assert index.entity_ids.tolist() == [0, 1, 3, 2, 3]
+        assert index.block_comparisons.tolist() == [3, 1]
+
+    def test_node_block_counts_match_profile_block_sets(self):
+        for collection in (_clean_collection(), _dirty_collection()):
+            index = collection.entity_index
+            expected = {
+                profile: len(positions)
+                for profile, positions in collection.profile_block_sets.items()
+            }
+            for profile, count in expected.items():
+                assert int(index.node_block_counts[profile]) == count
+            assert index.num_indexed_profiles == len(expected)
+            assert index.total_comparisons == collection.aggregate_cardinality
+
+    def test_index_is_cached_on_the_collection(self):
+        collection = _dirty_collection()
+        assert collection.entity_index is collection.entity_index
+
+    def test_empty_collection(self):
+        index = BlockCollection([], False).entity_index
+        assert index.num_blocks == 0
+        src, dst, block = index.enumerate_pairs()
+        assert src.size == dst.size == block.size == 0
+        assert index.distinct_pair_arrays()[0].size == 0
+
+
+class TestPairEnumeration:
+    def test_matches_block_iter_pairs(self, figure1_dirty):
+        collection = TokenBlocking().build(figure1_dirty)
+        index = collection.entity_index
+        src, dst, pair_block = index.enumerate_pairs()
+        expected = [
+            (pair, position)
+            for position, block in enumerate(collection)
+            for pair in sorted(block.iter_pairs())
+        ]
+        got = list(zip(zip(src.tolist(), dst.tolist()), pair_block.tolist()))
+        assert sorted(got) == sorted(expected)
+
+    def test_block_major_order_and_canonical_pairs(self):
+        src, dst, pair_block = _clean_collection().entity_index.enumerate_pairs()
+        assert pair_block.tolist() == sorted(pair_block.tolist())
+        assert np.all(src < dst)
+
+    def test_distinct_pair_arrays_sorted_unique(self):
+        collection = _clean_collection()
+        src, dst = collection.entity_index.distinct_pair_arrays()
+        pairs = list(zip(src.tolist(), dst.tolist()))
+        assert pairs == sorted(set(pairs))
+        assert set(pairs) == collection.distinct_pairs()
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 17, 64])
+    def test_unrank_combinations_bijective(self, n):
+        total = n * (n - 1) // 2
+        ns = np.full(total, n, dtype=np.int64)
+        qs = np.arange(total, dtype=np.int64)
+        row, col = _unrank_combinations(ns, qs)
+        import itertools
+
+        assert list(zip(row.tolist(), col.tolist())) == list(
+            itertools.combinations(range(n), 2)
+        )
+
+
+class TestStreaming:
+    def test_iter_distinct_pairs_streams_sorted(self):
+        collection = _dirty_collection()
+        iterator = collection.iter_distinct_pairs()
+        assert next(iterator) == (0, 1)
+        rest = list(iterator)
+        assert rest == [(0, 3), (1, 3), (2, 3)]
+        assert collection.count_distinct_pairs() == 4
