@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Streaming benchmark: arrival-time queries over a generated stream.
+
+Generates a synthetic clean-clean workload (~10k profiles by default),
+replays it through a :class:`repro.streaming.StreamingSession` — upsert
+followed by an arrival-time ``candidates()`` query per profile — and
+records sustained throughput (queries/sec) plus per-query latency
+percentiles (p50/p95/p99) for the ``fast`` serving view.  A second pass
+measures bulk-load throughput (upserts only) and the snapshot write/
+restore round trip.
+
+Results are written as JSON (default: ``BENCH_streaming.json`` at the
+repository root), so serving latency is a recorded, regression-checkable
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py            # full run
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke    # CI-sized
+
+Not a pytest module — run it as a script (like ``bench_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import BlastConfig  # noqa: E402
+from repro.datasets import load_clean_clean  # noqa: E402
+from repro.streaming import StreamingSession  # noqa: E402
+
+#: Profiles per unit scale of the "ar1" generator (size1 + size2).
+_AR1_PROFILES_PER_SCALE = 650 + 580
+
+
+def build_stream(profiles: int, seed: int):
+    """Arrival-ordered ``(profile, source)`` records of a generated task."""
+    scale = profiles / _AR1_PROFILES_PER_SCALE
+    dataset = load_clean_clean("ar1", scale=scale, seed=seed)
+    return [
+        (profile, dataset.source_of(gidx))
+        for gidx, profile in dataset.iter_profiles()
+    ], dataset.num_profiles
+
+
+def replay_with_latencies(
+    session: StreamingSession, records, query_k: int | None
+) -> tuple[np.ndarray, int]:
+    """Upsert + query every record; per-query seconds and link count."""
+    latencies = np.zeros(len(records), dtype=np.float64)
+    links = 0
+    for position, (profile, source) in enumerate(records):
+        session.upsert(profile, source=source)
+        start = time.perf_counter()
+        candidates = session.candidates(
+            profile.profile_id, k=query_k, source=source
+        )
+        latencies[position] = time.perf_counter() - start
+        links += len(candidates)
+    return latencies, links
+
+
+def run(args: argparse.Namespace) -> dict:
+    profiles = 1_500 if args.smoke else args.profiles
+    print(f"building stream (~{profiles} profiles, seed={args.seed}) ...")
+    records, num_profiles = build_stream(profiles, args.seed)
+    config = BlastConfig(
+        weighting=args.weighting,
+        stream_consistency=args.consistency,
+        stream_query_k=args.query_k,
+    )
+
+    # Pass 1: bulk load (index mutation throughput, no queries).
+    session = StreamingSession(config, clean_clean=True)
+    start = time.perf_counter()
+    for profile, source in records:
+        session.upsert(profile, source=source)
+    load_seconds = time.perf_counter() - start
+
+    # Snapshot round trip on the warmed index.
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot_path = Path(tmp) / "session.json.gz"
+        start = time.perf_counter()
+        session.snapshot(snapshot_path)
+        snapshot_seconds = time.perf_counter() - start
+        snapshot_bytes = snapshot_path.stat().st_size
+        start = time.perf_counter()
+        StreamingSession.restore(snapshot_path)
+        restore_seconds = time.perf_counter() - start
+
+    # Pass 2: arrival-time replay (upsert + query per record).
+    session = StreamingSession(config, clean_clean=True)
+    start = time.perf_counter()
+    latencies, links = replay_with_latencies(session, records, args.query_k)
+    replay_seconds = time.perf_counter() - start
+
+    p50, p95, p99 = (
+        float(np.percentile(latencies, q) * 1e3) for q in (50, 95, 99)
+    )
+    qps = len(records) / replay_seconds if replay_seconds > 0 else float("inf")
+    report = {
+        "benchmark": "streaming_arrival_time_queries",
+        "workload": "ar1-synthetic/interleaved-upsert-query",
+        "smoke": bool(args.smoke),
+        "profiles": num_profiles,
+        "keys": session.index.num_blocks,
+        "consistency": args.consistency,
+        "weighting": args.weighting,
+        "query_k": args.query_k,
+        "seed": args.seed,
+        "candidate_links": links,
+        "replay_seconds": round(replay_seconds, 4),
+        "queries_per_second": round(qps, 1),
+        "latency_ms": {
+            "p50": round(p50, 4),
+            "p95": round(p95, 4),
+            "p99": round(p99, 4),
+            "max": round(float(latencies.max()) * 1e3, 4),
+        },
+        "bulk_load_seconds": round(load_seconds, 4),
+        "bulk_upserts_per_second": round(
+            len(records) / load_seconds if load_seconds > 0 else float("inf"),
+            1,
+        ),
+        "snapshot": {
+            "bytes": snapshot_bytes,
+            "write_seconds": round(snapshot_seconds, 4),
+            "restore_seconds": round(restore_seconds, 4),
+        },
+    }
+    print(
+        f"  {len(records)} arrivals in {replay_seconds:.2f}s "
+        f"({qps:,.0f} queries/s) — p50 {p50:.2f}ms, p95 {p95:.2f}ms, "
+        f"p99 {p99:.2f}ms, {links} links"
+    )
+    print(
+        f"  bulk load {load_seconds:.2f}s, snapshot "
+        f"{snapshot_bytes / 1024:.0f} KiB "
+        f"(write {snapshot_seconds:.2f}s, restore {restore_seconds:.2f}s)"
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profiles", type=int, default=10_000,
+                        help="approximate stream size (default: %(default)s)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized stream (~1.5k profiles)")
+    parser.add_argument("--weighting", default="chi_h",
+                        help="weighting scheme (default: %(default)s)")
+    parser.add_argument("--consistency", default="fast",
+                        help="query view for the replay (default: %(default)s)")
+    parser.add_argument("--query-k", type=int, default=10,
+                        help="per-query candidate cap (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_streaming.json",
+                        help="JSON report path (default: %(default)s)")
+    parser.add_argument("--max-p95-ms", type=float, default=None,
+                        help="exit non-zero if the p95 latency is higher")
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    if (
+        args.max_p95_ms is not None
+        and report["latency_ms"]["p95"] > args.max_p95_ms
+    ):
+        print(
+            f"error: p95 latency {report['latency_ms']['p95']}ms above the "
+            f"{args.max_p95_ms}ms ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

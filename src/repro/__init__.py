@@ -45,14 +45,21 @@ from repro.core import (
     register_backend,
     register_blocker,
     register_pruning,
+    register_stream_view,
     register_weighting,
 )
 from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
 from repro.datasets import load_clean_clean, load_dirty
 from repro.graph import MetaBlocker, WeightingScheme
 from repro.metrics import evaluate_blocks
+from repro.streaming import (
+    IncrementalBlockIndex,
+    StreamingMetaBlocker,
+    StreamingSession,
+    StreamingStage,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Blast",
@@ -76,6 +83,11 @@ __all__ = [
     "register_weighting",
     "register_pruning",
     "register_backend",
+    "register_stream_view",
+    "IncrementalBlockIndex",
+    "StreamingMetaBlocker",
+    "StreamingSession",
+    "StreamingStage",
     "EntityProfile",
     "EntityCollection",
     "GroundTruth",

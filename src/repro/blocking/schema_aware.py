@@ -11,11 +11,56 @@ from __future__ import annotations
 
 from repro.blocking.base import BlockCollection, build_blocks
 from repro.data.dataset import ERDataset
+from repro.data.profile import EntityProfile
 from repro.schema.partition import AttributePartitioning
 
 #: Separator between token and cluster id in disambiguated keys.  Chosen
 #: outside the normalized-token alphabet so keys can be split back apart.
 KEY_SEPARATOR = "#"
+
+
+def profile_blocking_keys(
+    profile: EntityProfile,
+    source: int,
+    partitioning: AttributePartitioning | None = None,
+    min_token_length: int = 2,
+    transformation: str = "token",
+    q: int = 3,
+) -> set[str]:
+    """The blocking keys of one profile, batch- and stream-identical.
+
+    With a *partitioning* this is the disambiguated key set of
+    :class:`LooselySchemaAwareBlocking` (``token#cluster``); without one it
+    degenerates to the schema-agnostic Token Blocking key set.  The
+    streaming :class:`repro.streaming.IncrementalBlockIndex` calls this same
+    function, so an incrementally built index agrees key-for-key with the
+    batch blockers.
+    """
+    keys: set[str] = set()
+    if partitioning is None:
+        for token in profile.tokens():
+            if len(token) < min_token_length:
+                continue
+            keys.update(_transform(token, transformation, q))
+        return keys
+    for attribute, tokens in profile.tokens_by_attribute().items():
+        cluster = partitioning.cluster_of(source, attribute)
+        if cluster is None:
+            continue  # no glue cluster: attribute's tokens are dropped
+        for token in tokens:
+            if len(token) < min_token_length:
+                continue
+            for term in _transform(token, transformation, q):
+                keys.add(f"{term}{KEY_SEPARATOR}{cluster}")
+    return keys
+
+
+def _transform(token: str, transformation: str, q: int) -> list[str]:
+    if transformation == "token":
+        return [token]
+    from repro.utils.tokenize import qgrams
+
+    return qgrams(token, q)
 
 
 def split_key(key: str) -> tuple[str, int]:
@@ -99,21 +144,11 @@ class LooselySchemaAwareBlocking:
         return build_blocks(keyed, is_clean_clean=False)
 
     def _keys_of(self, profile, source: int) -> set[str]:
-        keys: set[str] = set()
-        for attribute, tokens in profile.tokens_by_attribute().items():
-            cluster = self.partitioning.cluster_of(source, attribute)
-            if cluster is None:
-                continue  # no glue cluster: attribute's tokens are dropped
-            for token in tokens:
-                if len(token) < self.min_token_length:
-                    continue
-                for term in self._terms(token):
-                    keys.add(f"{term}{KEY_SEPARATOR}{cluster}")
-        return keys
-
-    def _terms(self, token: str) -> list[str]:
-        if self.transformation == "token":
-            return [token]
-        from repro.utils.tokenize import qgrams
-
-        return qgrams(token, self.q)
+        return profile_blocking_keys(
+            profile,
+            source,
+            self.partitioning,
+            min_token_length=self.min_token_length,
+            transformation=self.transformation,
+            q=self.q,
+        )

@@ -1,21 +1,26 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run      --left a.jsonl --right b.jsonl --output pairs.csv
     python -m repro evaluate --left a.jsonl --right b.jsonl \
                              --ground-truth gt.csv
     python -m repro generate --dataset ar1 --outdir data/
+    python -m repro stream   --input stream.jsonl --output matches.jsonl
 
 ``run`` executes the BLAST pipeline and writes the candidate pairs;
 ``evaluate`` additionally scores them against a ground truth; ``generate``
 materializes one of the built-in benchmark datasets as JSONL + CSV so the
-other two commands (and external tools) can consume it.
+other two commands (and external tools) can consume it; ``stream`` replays
+a JSON-lines profile stream (``.gz`` transparently) through the
+incremental subsystem and emits each arrival's retained candidates as they
+are computed.
 
-``run`` and ``evaluate`` assemble their pipeline from the component
-registries: ``--blocker``, ``--weighting`` and ``--pruning`` accept any
-registered name (components added via ``repro.register_blocker`` and
-friends appear automatically, in ``--help`` too).
+``run``, ``evaluate`` and ``stream`` assemble their components from the
+registries: ``--blocker``, ``--weighting``, ``--pruning``, ``--backend``
+and ``--consistency`` accept any registered name (components added via
+``repro.register_blocker`` and friends appear automatically, in ``--help``
+too).
 """
 
 from __future__ import annotations
@@ -25,8 +30,17 @@ import csv
 import sys
 from pathlib import Path
 
+import json
+import time
+
 from repro.core import BlastConfig, build_pipeline
-from repro.core.registry import BACKENDS, BLOCKERS, PRUNERS, WEIGHTINGS
+from repro.core.registry import (
+    BACKENDS,
+    BLOCKERS,
+    PRUNERS,
+    STREAM_VIEWS,
+    WEIGHTINGS,
+)
 from repro.data.dataset import ERDataset
 from repro.data.io import (
     load_collection,
@@ -45,11 +59,13 @@ def _registry_epilog() -> str:
     """The dynamic component listing appended to ``--help``."""
     return (
         "registered components (extensible via repro.register_blocker/"
-        "register_weighting/register_pruning/register_backend):\n"
-        f"  blockers:   {', '.join(BLOCKERS.names())}\n"
-        f"  weightings: {', '.join(WEIGHTINGS.names())}\n"
-        f"  prunings:   {', '.join(PRUNERS.names())}\n"
-        f"  backends:   {', '.join(BACKENDS.names())}"
+        "register_weighting/register_pruning/register_backend/"
+        "register_stream_view):\n"
+        f"  blockers:     {', '.join(BLOCKERS.names())}\n"
+        f"  weightings:   {', '.join(WEIGHTINGS.names())}\n"
+        f"  prunings:     {', '.join(PRUNERS.names())}\n"
+        f"  backends:     {', '.join(BACKENDS.names())}\n"
+        f"  stream views: {', '.join(STREAM_VIEWS.names())}"
     )
 
 
@@ -86,6 +102,56 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--scale", type=float, default=1.0)
     gen.add_argument("--seed", type=int, default=42)
     gen.add_argument("--outdir", type=Path, required=True)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a profile stream, emitting candidates as they arrive",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    stream.add_argument("--input", type=Path, required=True,
+                        help="JSON-lines profile stream (.gz transparently); "
+                             "records may carry 'source' (0/1) and 'op' "
+                             "('upsert' default, or 'delete')")
+    stream.add_argument("--output", type=Path, default=None,
+                        help="JSON-lines file for per-arrival candidates "
+                             "(.gz transparently); omit to replay without "
+                             "emitting")
+    stream.add_argument("--clean-clean", action="store_true",
+                        help="two-source stream (records carry source 0/1)")
+    stream.add_argument("--weighting", choices=WEIGHTINGS.names(),
+                        default="chi_h",
+                        help="registered edge weighting (default: "
+                             "%(default)s; ejs needs global statistics and "
+                             "is rejected at query time)")
+    stream.add_argument("--pruning", choices=PRUNERS.names(), default="blast",
+                        help="registered node-centric pruning scheme "
+                             "(blast, wnp1/wnp2, cnp1/cnp2; default: "
+                             "%(default)s)")
+    stream.add_argument("--backend", choices=("python", "vectorized"),
+                        default="vectorized",
+                        help="per-query arithmetic backend "
+                             "(default: %(default)s)")
+    stream.add_argument("--consistency", choices=STREAM_VIEWS.names(),
+                        default="fast",
+                        help="query view: 'fast' serves from incremental "
+                             "statistics, 'exact' reproduces batch "
+                             "purging/filtering semantics per index version "
+                             "(default: %(default)s for arrival-time "
+                             "replay)")
+    stream.add_argument("--query-k", type=int, default=None,
+                        help="cap each arrival's emitted candidates")
+    stream.add_argument("--min-token-length", type=int, default=2)
+    stream.add_argument("--purging-ratio", type=float, default=0.5)
+    stream.add_argument("--filtering-ratio", type=float, default=0.8)
+    stream.add_argument("--pruning-c", type=float, default=2.0)
+    stream.add_argument("--pruning-d", type=float, default=2.0)
+    stream.add_argument("--snapshot", type=Path, default=None,
+                        help="session snapshot path: restored before the "
+                             "replay when the file exists, written after it "
+                             "either way")
+    stream.add_argument("--no-query", action="store_true",
+                        help="only build the index (bulk load / snapshot "
+                             "warm-up); no candidates are computed")
     return parser
 
 
@@ -227,11 +293,85 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.data.io import open_text
+    from repro.streaming import StreamingSession, iter_stream
+
+    config = BlastConfig(
+        min_token_length=args.min_token_length,
+        purging_ratio=args.purging_ratio,
+        filtering_ratio=args.filtering_ratio,
+        weighting=args.weighting,
+        pruning_c=args.pruning_c,
+        pruning_d=args.pruning_d,
+        backend=args.backend,
+        stream_consistency=args.consistency,
+        stream_query_k=args.query_k,
+    )
+    if args.snapshot is not None and args.snapshot.exists():
+        session = StreamingSession.restore(args.snapshot)
+        print(f"restored {session.index.num_profiles} profiles from "
+              f"{args.snapshot} (snapshot settings apply)")
+    else:
+        session = StreamingSession(
+            config,
+            clean_clean=args.clean_clean,
+            pruning=PRUNERS.get(args.pruning)(config),
+        )
+
+    out_handle = (
+        open_text(args.output, "w") if args.output is not None else None
+    )
+    upserts = deletes = links = 0
+    start = time.perf_counter()
+    try:
+        for event in session.replay(
+            iter_stream(args.input), query=not args.no_query
+        ):
+            record = event.record
+            if record.op == "delete":
+                deletes += 1
+                payload = {"op": "delete", "id": record.profile_id,
+                           "source": record.source, "applied": event.applied}
+            else:
+                upserts += 1
+                candidates = event.candidates or []
+                links += len(candidates)
+                payload = {
+                    "op": "upsert", "id": record.profile_id,
+                    "source": record.source,
+                    "candidates": [
+                        {"id": c.profile_id, "source": c.source,
+                         "weight": c.weight}
+                        for c in candidates
+                    ],
+                }
+            if out_handle is not None:
+                out_handle.write(json.dumps(payload, ensure_ascii=False) + "\n")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+    elapsed = time.perf_counter() - start
+
+    qps = upserts / elapsed if elapsed > 0 else float("inf")
+    print(f"replayed {upserts + deletes} records ({upserts} upserts, "
+          f"{deletes} deletes) in {elapsed:.2f}s"
+          + ("" if args.no_query else
+             f" — {links} candidate links ({qps:,.0f} queries/s)")
+          + (f", wrote {args.output}" if args.output is not None else ""))
+    if args.snapshot is not None:
+        session.snapshot(args.snapshot)
+        print(f"snapshot written to {args.snapshot} "
+              f"({session.index.num_profiles} profiles, "
+              f"{session.index.num_blocks} keys)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     commands = {"run": _cmd_run, "evaluate": _cmd_evaluate,
-                "generate": _cmd_generate}
+                "generate": _cmd_generate, "stream": _cmd_stream}
     try:
         return commands[args.command](args)
     except (OSError, ValueError) as exc:

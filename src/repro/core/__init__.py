@@ -6,12 +6,14 @@ from repro.core.registry import (
     BACKENDS,
     BLOCKERS,
     PRUNERS,
+    STREAM_VIEWS,
     WEIGHTINGS,
     Registry,
     build_pipeline,
     register_backend,
     register_blocker,
     register_pruning,
+    register_stream_view,
     register_weighting,
 )
 from repro.core.stages import (
@@ -57,9 +59,11 @@ __all__ = [
     "WEIGHTINGS",
     "PRUNERS",
     "BACKENDS",
+    "STREAM_VIEWS",
     "register_blocker",
     "register_weighting",
     "register_pruning",
     "register_backend",
+    "register_stream_view",
     "build_pipeline",
 ]

@@ -65,6 +65,17 @@ class BlastConfig:
         identical retained edge set.
     seed:
         Seed for the LSH hash functions.
+
+    Streaming (the query-time subsystem, see DESIGN.md)
+    ----------------------------------------------------
+    stream_consistency:
+        Query view of the streaming subsystem: ``"exact"`` reproduces the
+        batch purging/filtering/graph semantics lazily per index version,
+        ``"fast"`` reads incrementally maintained statistics — any name
+        registered in ``repro.core.registry.STREAM_VIEWS``.
+    stream_query_k:
+        Default per-query candidate cap of ``StreamingSession.candidates``
+        (``None`` returns every retained neighbor).
     """
 
     # Phase 1
@@ -87,6 +98,9 @@ class BlastConfig:
     pruning_d: float = 2.0
     backend: str = "vectorized"
     seed: int | None = None
+    # Streaming
+    stream_consistency: str = "exact"
+    stream_query_k: int | None = None
 
     def __post_init__(self) -> None:
         # Accept registry names ("cbs", "chi_h", ...) wherever a scheme is
@@ -142,4 +156,17 @@ class BlastConfig:
         if not self.backend or not isinstance(self.backend, str):
             raise ValueError(
                 f"backend must be a non-empty registry name, got {self.backend!r}"
+            )
+        # Same deal for stream view names (STREAM_VIEWS registry).
+        if not self.stream_consistency or not isinstance(
+            self.stream_consistency, str
+        ):
+            raise ValueError(
+                f"stream_consistency must be a non-empty registry name, "
+                f"got {self.stream_consistency!r}"
+            )
+        if self.stream_query_k is not None and self.stream_query_k < 1:
+            raise ValueError(
+                f"stream_query_k must be positive or None, "
+                f"got {self.stream_query_k}"
             )

@@ -20,7 +20,10 @@ flag set configures whichever component is selected:
 * ``PRUNERS``    — ``name -> (config) -> PruningScheme``;
 * ``BACKENDS``   — meta-blocking execution backends (``python`` reference
   vs the array-backed ``vectorized`` default; see DESIGN.md "Backends &
-  performance").
+  performance");
+* ``STREAM_VIEWS`` — query-time views of the streaming subsystem
+  (``exact`` batch-faithful vs ``fast`` incremental; see DESIGN.md
+  "Streaming & serving").
 
 :func:`build_pipeline` assembles a full pipeline from registry names; it is
 what the CLI and ``Blast.default_pipeline`` run.
@@ -135,11 +138,15 @@ PRUNERS: Registry[Callable[[BlastConfig], PruningScheme]] = Registry("pruning")
 #: Meta-blocking execution backends: ``name -> (collection, *, weighting,
 #: pruning, entropy_boost, key_entropy) -> list[Edge]`` (sorted edges).
 BACKENDS: Registry[Callable[..., list]] = Registry("backend")
+#: Streaming query-view factories: ``name -> (IncrementalBlockIndex) ->
+#: view`` (the consistency modes of the streaming subsystem).
+STREAM_VIEWS: Registry[Callable] = Registry("stream view")
 
 register_blocker = BLOCKERS.register
 register_weighting = WEIGHTINGS.register
 register_pruning = PRUNERS.register
 register_backend = BACKENDS.register
+register_stream_view = STREAM_VIEWS.register
 
 
 # --- built-in blockers ------------------------------------------------------
@@ -195,6 +202,24 @@ for _scheme in WeightingScheme:
 
 BACKENDS.register("python", reference_metablocking)
 BACKENDS.register("vectorized", vectorized_metablocking)
+
+
+# --- built-in stream views --------------------------------------------------
+
+@register_stream_view("exact")
+def _exact_stream_view(index):
+    """Batch-faithful view: lazy purging/filtering snapshot per version."""
+    from repro.streaming.views import ExactStreamView
+
+    return ExactStreamView(index)
+
+
+@register_stream_view("fast")
+def _fast_stream_view(index):
+    """Read-through view with incremental statistics (serving mode)."""
+    from repro.streaming.views import FastStreamView
+
+    return FastStreamView(index)
 
 
 # --- built-in prunings ------------------------------------------------------

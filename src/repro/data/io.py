@@ -4,23 +4,86 @@ The on-disk format mirrors the ER-framework benchmark archives the paper
 uses: one record per line with free-form attributes, plus a two-column match
 file.  Round-tripping through these functions is lossless for everything the
 library consumes.
+
+Every reader and writer is transparently gzip-aware: any path ending in
+``.gz`` is (de)compressed on the fly through :func:`open_text`, and
+:func:`iter_collection` streams a JSON-lines file profile by profile, so
+arbitrarily large collections can be replayed (e.g. by ``repro stream``)
+without ever materializing them in memory.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 import json
+from collections.abc import Callable, Iterator
 from pathlib import Path
+from typing import IO, TypeVar
 
 from repro.data.collection import EntityCollection
 from repro.data.ground_truth import GroundTruth
 from repro.data.profile import EntityProfile
 
+T = TypeVar("T")
+
+
+def open_text(
+    path: str | Path, mode: str = "r", *, newline: str | None = None
+) -> IO[str]:
+    """Open *path* as UTF-8 text, gzip-compressed when it ends in ``.gz``.
+
+    *mode* is a plain text mode (``"r"``, ``"w"``, ``"a"``); the gzip
+    binary/text distinction is handled here so callers never branch on the
+    suffix themselves.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8", newline=newline)
+    return path.open(mode, encoding="utf-8", newline=newline)
+
+
+def profile_from_record(record: dict) -> EntityProfile:
+    """Build an :class:`EntityProfile` from one decoded JSON-lines record."""
+    return EntityProfile(
+        str(record["id"]),
+        tuple((str(n), str(v)) for n, v in record["attributes"]),
+    )
+
+
+def iter_json_records(path: str | Path, convert: Callable[[dict], T]) -> Iterator[T]:
+    """Stream a JSON-lines file through *convert*, one record at a time.
+
+    Blank lines are skipped; a line that fails to parse — or whose decoded
+    record *convert* rejects — raises a :class:`ValueError` naming the
+    file and line.  The file is read lazily, so gigabyte-scale (optionally
+    ``.gz``-compressed) inputs stream in constant memory.  Shared by
+    :func:`iter_collection` and the streaming subsystem's record parser.
+    """
+    path = Path(path)
+    with open_text(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield convert(json.loads(line))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed record") from exc
+
+
+def iter_collection(path: str | Path) -> Iterator[EntityProfile]:
+    """Stream the profiles of a JSON-lines file, one at a time.
+
+    Unlike :func:`load_collection`, nothing is materialized — see
+    :func:`iter_json_records` for the line-level behavior.
+    """
+    return iter_json_records(path, profile_from_record)
+
 
 def save_collection(collection: EntityCollection, path: str | Path) -> None:
     """Write *collection* as JSON lines: ``{"id": ..., "attributes": [[n, v]...]}``."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         for profile in collection:
             record = {
                 "id": profile.profile_id,
@@ -32,29 +95,14 @@ def save_collection(collection: EntityCollection, path: str | Path) -> None:
 def load_collection(path: str | Path, name: str = "") -> EntityCollection:
     """Read a JSON-lines file written by :func:`save_collection`."""
     path = Path(path)
-    profiles: list[EntityProfile] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                profiles.append(
-                    EntityProfile(
-                        str(record["id"]),
-                        tuple((str(n), str(v)) for n, v in record["attributes"]),
-                    )
-                )
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ValueError(f"{path}:{line_no}: malformed record") from exc
-    return EntityCollection(profiles, name=name or path.stem)
+    default_name = path.name[: -len(".gz")] if path.suffix == ".gz" else path.name
+    default_name = Path(default_name).stem
+    return EntityCollection(iter_collection(path), name=name or default_name)
 
 
 def save_ground_truth(truth: GroundTruth, path: str | Path) -> None:
     """Write *truth* as a two-column CSV with an ``id1,id2`` header."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8", newline="") as handle:
+    with open_text(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["id1", "id2"])
         for id1, id2 in sorted(truth):
@@ -65,7 +113,7 @@ def load_ground_truth(path: str | Path, clean_clean: bool = True) -> GroundTruth
     """Read a CSV written by :func:`save_ground_truth`."""
     path = Path(path)
     pairs: list[tuple[str, str]] = []
-    with path.open("r", encoding="utf-8", newline="") as handle:
+    with open_text(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header is None:
@@ -89,7 +137,7 @@ def load_csv_collection(
     """
     path = Path(path)
     profiles: list[EntityProfile] = []
-    with path.open("r", encoding="utf-8", newline="") as handle:
+    with open_text(path, newline="") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or id_column not in reader.fieldnames:
             raise ValueError(f"{path}: missing id column {id_column!r}")

@@ -24,6 +24,7 @@ vectorized work, with no per-pair Python bytecode.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -125,6 +126,39 @@ class EntityIndex:
     def total_comparisons(self) -> int:
         """``||B||`` — the aggregate cardinality."""
         return int(self.block_comparisons.sum())
+
+    @cached_property
+    def _member_blocks_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Transpose of the block->members layout: profile -> block positions.
+
+        Returns ``(ptr, blocks)`` where ``blocks[ptr[p]:ptr[p+1]]`` are the
+        positions of the blocks containing profile ``p``, in ascending block
+        order (the stable sort preserves the block-major flat order).  Built
+        once and cached — the per-node query path of the streaming subsystem
+        walks it for every candidate lookup.
+        """
+        counts = self.node_block_counts
+        ptr = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        if self.entity_ids.size == 0:
+            return ptr, np.zeros(0, dtype=np.int64)
+        block_of_flat = np.repeat(
+            np.arange(self.num_blocks, dtype=np.int64),
+            np.diff(self.block_ptr).astype(np.int64),
+        )
+        order = np.argsort(self.entity_ids, kind="stable")
+        return ptr, block_of_flat[order]
+
+    def blocks_of(self, profile: int) -> np.ndarray:
+        """Positions of the blocks containing *profile*, ascending.
+
+        Profiles outside ``[0, max_id]`` (or indexed by no block) yield an
+        empty array.
+        """
+        ptr, blocks = self._member_blocks_csr
+        if not 0 <= profile < ptr.size - 1:
+            return np.zeros(0, dtype=np.int64)
+        return blocks[ptr[profile] : ptr[profile + 1]]
 
     def block_entropies(self, key_entropy=None) -> np.ndarray:
         """Per-block entropy ``h(b)`` via *key_entropy* (1.0 when ``None``)."""

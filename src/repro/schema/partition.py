@@ -110,6 +110,45 @@ class AttributePartitioning:
         glue = self._clusters.get(GLUE_CLUSTER_ID) if self.has_glue else None
         return AttributePartitioning(clusters, glue, entropies)
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable form (streaming snapshots persist this).
+
+        Cluster ids are preserved exactly: real clusters are listed in id
+        order, so :meth:`from_dict` reassigns the same ids — disambiguated
+        blocking keys (``token#cluster``) stay valid across a round trip.
+        """
+        return {
+            "clusters": [
+                sorted([s, a] for s, a in self._clusters[cid])
+                for cid in sorted(self._clusters)
+                if cid != GLUE_CLUSTER_ID
+            ],
+            "glue": (
+                sorted([s, a] for s, a in self._clusters[GLUE_CLUSTER_ID])
+                if self.has_glue
+                else None
+            ),
+            "entropies": {str(cid): value for cid, value in self._entropies.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AttributePartitioning":
+        """Inverse of :meth:`to_dict`."""
+        glue = payload.get("glue")
+        return cls(
+            clusters=[
+                [(int(s), str(a)) for s, a in members]
+                for members in payload["clusters"]
+            ],
+            glue=(
+                [(int(s), str(a)) for s, a in glue] if glue is not None else None
+            ),
+            entropies={
+                int(cid): float(value)
+                for cid, value in (payload.get("entropies") or {}).items()
+            },
+        )
+
     def __repr__(self) -> str:
         real = self.num_clusters - (1 if self.has_glue else 0)
         return (

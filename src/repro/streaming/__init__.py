@@ -1,0 +1,48 @@
+"""Streaming / incremental entity resolution (query-time meta-blocking).
+
+The batch pipeline needs every profile up front; this subsystem serves the
+same meta-blocking decisions *as profiles arrive*:
+
+* :class:`IncrementalBlockIndex` — a mutable, loosely schema-aware
+  token -> posting-list index with ``upsert``/``delete``;
+* :class:`StreamingMetaBlocker` — ``candidates(profile, k)`` via per-node
+  edge weighting (CBS/ECBS/JS/ARCS/CHI_H) and node-centric pruning
+  (BLAST/WNP/CNP), with batch-exact (``exact``) or incremental (``fast``)
+  query views resolved through ``repro.core.registry.STREAM_VIEWS``;
+* :class:`StreamingSession` — the facade adding stream replay and
+  ``snapshot``/``restore`` persistence;
+* :class:`StreamingStage` — the subsystem as a pipeline stage, for
+  validating streaming results against the batch pipeline.
+
+See DESIGN.md ("Streaming & serving") for the consistency model and
+``examples/streaming_session.py`` for a worked example.
+"""
+
+from repro.streaming.index import IncrementalBlockIndex, PostingList
+from repro.streaming.metablocker import Candidate, StreamingMetaBlocker
+from repro.streaming.session import (
+    ReplayEvent,
+    StreamingSession,
+    StreamRecord,
+    iter_stream,
+    parse_stream_record,
+)
+from repro.streaming.stage import STREAMING_SESSION, StreamingStage
+from repro.streaming.views import ExactStreamView, FastStreamView, NeighborStats
+
+__all__ = [
+    "Candidate",
+    "ExactStreamView",
+    "FastStreamView",
+    "IncrementalBlockIndex",
+    "NeighborStats",
+    "PostingList",
+    "ReplayEvent",
+    "STREAMING_SESSION",
+    "StreamRecord",
+    "StreamingMetaBlocker",
+    "StreamingSession",
+    "StreamingStage",
+    "iter_stream",
+    "parse_stream_record",
+]

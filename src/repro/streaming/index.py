@@ -1,0 +1,311 @@
+"""The live block index: mutable token -> posting-list blocking.
+
+Batch BLAST indexes a frozen dataset once; this module keeps the same
+blocking structure *mutable*.  An :class:`IncrementalBlockIndex` maps every
+blocking key (plain token, or attribute-cluster-disambiguated
+``token#cluster`` when a loose schema is supplied) to a
+:class:`PostingList` of the live profiles containing it, and supports
+``upsert``/``delete`` in time proportional to one profile's key set.
+
+Consistency with the batch pipeline is by construction: keys are derived
+through :func:`repro.blocking.schema_aware.profile_blocking_keys` — the
+same function the batch blockers call — and the expensive restructurings
+(Block Purging, Block Filtering) are *not* applied on mutation.  They are
+evaluated lazily at query time by the views of ``repro.streaming.views``,
+so every write stays cheap and every read can still reproduce batch
+semantics exactly.
+
+Node identity is stable: a ``(source, profile_id)`` pair keeps its integer
+node id across upsert -> delete -> upsert cycles, which makes the index
+state after such a cycle identical to the state after a single upsert.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.blocking.schema_aware import profile_blocking_keys, split_key
+from repro.data.profile import EntityProfile
+from repro.schema.partition import AttributePartitioning
+
+
+class PostingList:
+    """The live members of one blocking key.
+
+    Mutation happens on plain Python sets; :meth:`arrays` lowers the sets
+    to sorted int64 numpy arrays on demand and caches them until the next
+    mutation, so the vectorized query kernels always gather from
+    array-backed postings.
+    """
+
+    __slots__ = ("left", "right", "_arrays")
+
+    def __init__(self, clean_clean: bool) -> None:
+        self.left: set[int] = set()
+        self.right: set[int] | None = set() if clean_clean else None
+        self._arrays: tuple[np.ndarray, np.ndarray | None] | None = None
+
+    @property
+    def is_clean_clean(self) -> bool:
+        return self.right is not None
+
+    @property
+    def size(self) -> int:
+        """Number of member profiles (both sources)."""
+        return len(self.left) + (len(self.right) if self.right else 0)
+
+    @property
+    def num_comparisons(self) -> int:
+        """``||b||`` of the block this posting list denotes."""
+        if self.right is not None:
+            return len(self.left) * len(self.right)
+        n = len(self.left)
+        return n * (n - 1) // 2
+
+    def add(self, node: int, side: int) -> None:
+        (self.left if side == 0 else self.right).add(node)
+        self._arrays = None
+
+    def discard(self, node: int, side: int) -> None:
+        (self.left if side == 0 else self.right).discard(node)
+        self._arrays = None
+
+    def side(self, side: int) -> set[int]:
+        """The member set of one source (``left`` for dirty indexes)."""
+        return self.left if side == 0 else (self.right or set())
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Sorted ``(left, right)`` member arrays (cached until mutated)."""
+        if self._arrays is None:
+            left = np.fromiter(
+                sorted(self.left), dtype=np.int64, count=len(self.left)
+            )
+            right = None
+            if self.right is not None:
+                right = np.fromiter(
+                    sorted(self.right), dtype=np.int64, count=len(self.right)
+                )
+            self._arrays = (left, right)
+        return self._arrays
+
+    def __repr__(self) -> str:
+        return f"PostingList(size={self.size})"
+
+
+class IncrementalBlockIndex:
+    """A mutable, loosely schema-aware token -> posting-list block index.
+
+    Parameters
+    ----------
+    clean_clean:
+        Two-source (clean-clean) or single-source (dirty) indexing.  For
+        clean-clean indexes every operation takes a ``source`` of 0 or 1;
+        dirty indexes accept only source 0.
+    partitioning:
+        Optional loose schema.  When given, blocking keys are disambiguated
+        by attribute cluster (``token#cluster``) exactly as in the batch
+        Phase 2, and :meth:`key_entropy` resolves each key to its cluster's
+        aggregate entropy.
+    min_token_length / transformation / q:
+        Key-derivation tunables, forwarded verbatim to
+        :func:`repro.blocking.schema_aware.profile_blocking_keys`.
+    purging_ratio / max_comparisons / filtering_ratio:
+        Block Purging and Block Filtering parameters.  They are *stored*
+        here but applied lazily by the query-time views, never on mutation.
+    """
+
+    def __init__(
+        self,
+        *,
+        clean_clean: bool = False,
+        partitioning: AttributePartitioning | None = None,
+        min_token_length: int = 2,
+        transformation: str = "token",
+        q: int = 3,
+        purging_ratio: float = 0.5,
+        max_comparisons: int | None = None,
+        filtering_ratio: float = 0.8,
+    ) -> None:
+        if not 0.0 < purging_ratio <= 1.0:
+            raise ValueError(f"purging_ratio must be in (0, 1], got {purging_ratio}")
+        if not 0.0 < filtering_ratio <= 1.0:
+            raise ValueError(
+                f"filtering_ratio must be in (0, 1], got {filtering_ratio}"
+            )
+        self.clean_clean = clean_clean
+        self.partitioning = partitioning
+        self.min_token_length = min_token_length
+        self.transformation = transformation
+        self.q = q
+        self.purging_ratio = purging_ratio
+        self.max_comparisons = max_comparisons
+        self.filtering_ratio = filtering_ratio
+
+        self._postings: dict[str, PostingList] = {}
+        self._ids: dict[tuple[int, str], int] = {}  # stable, never removed
+        self._profiles: dict[int, EntityProfile] = {}  # live nodes only
+        self._sources: dict[int, int] = {}
+        self._keys: dict[int, frozenset[str]] = {}
+        self._next_id = 0
+        self._version = 0
+        self._total_assignments = 0  # sum over live nodes of |keys|
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; query views cache against it."""
+        return self._version
+
+    @property
+    def num_profiles(self) -> int:
+        """Live (non-deleted) profiles, indexed or not."""
+        return len(self._profiles)
+
+    @property
+    def num_blocks(self) -> int:
+        """Distinct blocking keys with at least one live member."""
+        return len(self._postings)
+
+    @property
+    def total_block_assignments(self) -> int:
+        """``sum_i |B_i|`` over live nodes (incrementally maintained)."""
+        return self._total_assignments
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._postings
+
+    def posting(self, key: str) -> PostingList:
+        """The posting list of *key* (KeyError when no live member has it)."""
+        return self._postings[key]
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the live blocking keys (arbitrary order)."""
+        return iter(self._postings)
+
+    def live_nodes(self) -> list[int]:
+        """All live node ids, ascending (== arrival order of first upsert)."""
+        return sorted(self._profiles)
+
+    def node_of(self, profile_id: str, source: int = 0) -> int:
+        """The live node id of ``(source, profile_id)`` (KeyError if absent)."""
+        node = self._ids.get((source, str(profile_id)))
+        if node is None or node not in self._profiles:
+            raise KeyError(
+                f"profile {profile_id!r} (source {source}) is not in the index"
+            )
+        return node
+
+    def profile_of(self, node: int) -> EntityProfile:
+        return self._profiles[node]
+
+    def source_of(self, node: int) -> int:
+        return self._sources[node]
+
+    def keys_of(self, node: int) -> frozenset[str]:
+        """The blocking keys of a live node."""
+        return self._keys[node]
+
+    def node_block_count(self, node: int) -> int:
+        """Raw ``|B_i|`` of a live node (purging/filtering not applied)."""
+        return len(self._keys[node])
+
+    def key_entropy(self, key: str) -> float:
+        """Aggregate entropy of *key*'s attribute cluster (1.0 without schema)."""
+        if self.partitioning is None:
+            return 1.0
+        _, cluster = split_key(key)
+        return self.partitioning.entropy_of(cluster)
+
+    def derive_keys(self, profile: EntityProfile, source: int = 0) -> set[str]:
+        """The blocking keys *profile* would be indexed under."""
+        return profile_blocking_keys(
+            profile,
+            source,
+            self.partitioning,
+            min_token_length=self.min_token_length,
+            transformation=self.transformation,
+            q=self.q,
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def _check_source(self, source: int) -> None:
+        if self.clean_clean:
+            if source not in (0, 1):
+                raise ValueError(f"source must be 0 or 1, got {source}")
+        elif source != 0:
+            raise ValueError(f"a dirty index has a single source, got {source}")
+
+    def upsert(self, profile: EntityProfile, source: int = 0) -> int:
+        """Insert or replace *profile*; returns its (stable) node id.
+
+        Re-upserting an identical live profile is a no-op (the version does
+        not move, so cached query views stay valid).
+        """
+        self._check_source(source)
+        ref = (source, profile.profile_id)
+        node = self._ids.get(ref)
+        if node is not None and self._profiles.get(node) == profile:
+            return node
+        if node is None:
+            node = self._next_id
+            self._next_id += 1
+            self._ids[ref] = node
+
+        new_keys = frozenset(self.derive_keys(profile, source))
+        old_keys = self._keys.get(node, frozenset())
+        for key in old_keys - new_keys:
+            self._remove_membership(key, node, source)
+        for key in new_keys - old_keys:
+            posting = self._postings.get(key)
+            if posting is None:
+                posting = PostingList(self.clean_clean)
+                self._postings[key] = posting
+            posting.add(node, source)
+
+        self._profiles[node] = profile
+        self._sources[node] = source
+        self._keys[node] = new_keys
+        self._total_assignments += len(new_keys) - len(old_keys)
+        self._version += 1
+        return node
+
+    def delete(self, profile_id: str, source: int = 0) -> bool:
+        """Remove a live profile; returns whether anything was deleted.
+
+        The ``(source, profile_id) -> node`` mapping is kept, so a later
+        re-upsert revives the same node id.
+        """
+        self._check_source(source)
+        node = self._ids.get((source, str(profile_id)))
+        if node is None or node not in self._profiles:
+            return False
+        for key in self._keys[node]:
+            self._remove_membership(key, node, source)
+        self._total_assignments -= len(self._keys[node])
+        del self._profiles[node]
+        del self._sources[node]
+        del self._keys[node]
+        self._version += 1
+        return True
+
+    def _remove_membership(self, key: str, node: int, source: int) -> None:
+        posting = self._postings.get(key)
+        if posting is None:
+            return
+        posting.discard(node, source)
+        if posting.size == 0:
+            del self._postings[key]
+
+    def __repr__(self) -> str:
+        kind = "clean-clean" if self.clean_clean else "dirty"
+        return (
+            f"IncrementalBlockIndex(kind={kind}, profiles={self.num_profiles}, "
+            f"keys={self.num_blocks}, version={self.version})"
+        )

@@ -1,0 +1,398 @@
+"""The streaming facade: one object from arriving profile to candidates.
+
+A :class:`StreamingSession` bundles an
+:class:`~repro.streaming.index.IncrementalBlockIndex` and a
+:class:`~repro.streaming.metablocker.StreamingMetaBlocker` behind the
+four verbs of incremental ER — ``upsert``, ``delete``, ``candidates``,
+``replay`` — plus ``snapshot``/``restore`` persistence so a warmed index
+survives restarts.
+
+The JSON-lines *stream format* extends the collection format of
+``repro.data.io`` with an optional ``"source"`` (0/1, clean-clean only)
+and an optional ``"op"`` (``"upsert"`` default, or ``"delete"``)::
+
+    {"id": "p1", "attributes": [["name", "John Abram Jr"]]}
+    {"id": "p7", "source": 1, "attributes": [["full name", "Ellen Smith"]]}
+    {"op": "delete", "id": "p1"}
+
+``repro stream`` replays such a file (``.gz`` transparently) and emits
+each arrival's retained candidates as they are computed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import BlastConfig
+from repro.data.dataset import ERDataset
+from repro.data.io import iter_json_records, open_text, profile_from_record
+from repro.data.profile import EntityProfile
+from repro.graph.pruning import (
+    BlastPruning,
+    CardinalityNodePruning,
+    PruningScheme,
+    WeightNodePruning,
+)
+from repro.graph.weights import WeightingScheme
+from repro.schema.partition import AttributePartitioning
+from repro.streaming.index import IncrementalBlockIndex
+from repro.streaming.metablocker import Candidate, StreamingMetaBlocker
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "StreamRecord",
+    "ReplayEvent",
+    "StreamingSession",
+    "iter_stream",
+    "parse_stream_record",
+]
+
+#: Version stamp of the snapshot file layout.
+SNAPSHOT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One parsed line of a profile stream."""
+
+    op: str  # "upsert" | "delete"
+    profile_id: str
+    source: int
+    profile: EntityProfile | None  # None for deletes
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """The outcome of applying one stream record.
+
+    ``candidates`` carries the arrival-time query result for upserts and
+    ``None`` for deletes; ``applied`` is ``False`` for deletes of unknown
+    profiles.
+    """
+
+    record: StreamRecord
+    candidates: list[Candidate] | None
+    applied: bool = True
+
+
+def parse_stream_record(record: dict) -> StreamRecord:
+    """Decode one stream line (see the module docstring for the format)."""
+    op = str(record.get("op", "upsert"))
+    source = int(record.get("source", 0))
+    if op == "delete":
+        return StreamRecord(op, str(record["id"]), source, None)
+    if op != "upsert":
+        raise ValueError(f"unknown stream op {op!r}")
+    profile = profile_from_record(record)
+    return StreamRecord(op, profile.profile_id, source, profile)
+
+
+def iter_stream(path: str | Path) -> Iterator[StreamRecord]:
+    """Stream the records of a JSON-lines file, lazily, ``.gz`` aware."""
+    return iter_json_records(path, parse_stream_record)
+
+
+class StreamingSession:
+    """Incremental ER over a stream of entity profiles.
+
+    Parameters
+    ----------
+    config:
+        Pipeline tunables (token length, purging/filtering ratios,
+        weighting, BLAST pruning constants, ``stream_consistency``,
+        ``backend``); defaults to :class:`BlastConfig`'s paper defaults.
+    clean_clean:
+        Two-source (every record carries ``source`` 0/1) or dirty.
+    partitioning:
+        Optional loose schema for attribute-cluster-disambiguated keys and
+        entropy-aware weighting — e.g. extracted from a warm-up batch via
+        :meth:`from_dataset`.
+    pruning:
+        Node-centric pruning override; defaults to BLAST's rule with the
+        config's ``pruning_c``/``pruning_d``.
+    weighting / consistency / backend:
+        Per-parameter overrides of the config values.
+
+    Example
+    -------
+    >>> from repro.streaming import StreamingSession
+    >>> from repro.data import EntityProfile
+    >>> session = StreamingSession()
+    >>> for pid, name in [("a", "John Abram"), ("b", "John Abram"),
+    ...                   ("c", "Ellen Smith"), ("d", "Ellen Smith")]:
+    ...     _ = session.upsert(EntityProfile.from_dict(pid, {"name": name}))
+    >>> [c.profile_id for c in session.candidates("a")]
+    ['b']
+    """
+
+    def __init__(
+        self,
+        config: BlastConfig | None = None,
+        *,
+        clean_clean: bool = False,
+        partitioning: AttributePartitioning | None = None,
+        pruning: PruningScheme | None = None,
+        weighting: WeightingScheme | str | None = None,
+        consistency: str | None = None,
+        backend: str | None = None,
+    ) -> None:
+        config = config or BlastConfig()
+        self.config = config
+        if partitioning is not None and not config.use_entropy:
+            # Keys stay disambiguated but every cluster weighs 1.0 (the
+            # "chi" ablation): drop only the entropy lookup, not the schema.
+            partitioning = partitioning.with_entropies({})
+        self.index = IncrementalBlockIndex(
+            clean_clean=clean_clean,
+            partitioning=partitioning,
+            min_token_length=config.min_token_length,
+            purging_ratio=config.purging_ratio,
+            filtering_ratio=config.filtering_ratio,
+        )
+        self.metablocker = StreamingMetaBlocker(
+            self.index,
+            weighting=weighting if weighting is not None else config.weighting,
+            pruning=(
+                pruning
+                if pruning is not None
+                else BlastPruning(c=config.pruning_c, d=config.pruning_d)
+            ),
+            entropy_boost=config.entropy_boost,
+            consistency=(
+                consistency
+                if consistency is not None
+                else config.stream_consistency
+            ),
+            backend=backend if backend is not None else config.backend,
+        )
+        self.default_k = config.stream_query_k
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: ERDataset,
+        config: BlastConfig | None = None,
+        *,
+        extract_schema: bool = True,
+        **overrides,
+    ) -> "StreamingSession":
+        """A warmed session: loose schema from *dataset*, profiles upserted.
+
+        The batch Phase 1 (LMI/AC + entropy extraction) runs once over the
+        dataset when *extract_schema* is set; the profiles are then
+        replayed in dataset order, so the session's canonical ids equal
+        the batch global indices.
+        """
+        config = config or BlastConfig()
+        partitioning = None
+        if extract_schema:
+            from repro.core.stages import SchemaExtraction
+
+            partitioning = SchemaExtraction(config).extract(dataset)
+        session = cls(
+            config,
+            clean_clean=dataset.is_clean_clean,
+            partitioning=partitioning,
+            **overrides,
+        )
+        for gidx, profile in dataset.iter_profiles():
+            session.upsert(profile, source=dataset.source_of(gidx))
+        return session
+
+    # -- the four verbs ------------------------------------------------------
+
+    def upsert(self, profile: EntityProfile, source: int = 0) -> int:
+        """Insert or replace a profile; returns its stable node id."""
+        return self.index.upsert(profile, source)
+
+    def delete(self, profile_id: str, source: int = 0) -> bool:
+        """Remove a profile; ``False`` when it was not in the index."""
+        return self.index.delete(profile_id, source)
+
+    def candidates(
+        self, ref, k: int | None = None, source: int = 0
+    ) -> list[Candidate]:
+        """The retained comparison partners of an indexed profile."""
+        return self.metablocker.candidates(
+            ref, k=k if k is not None else self.default_k, source=source
+        )
+
+    def neighborhood(self, ref, source: int = 0) -> list[Candidate]:
+        """All co-occurring profiles with weights (unpruned)."""
+        return self.metablocker.neighborhood(ref, source=source)
+
+    def replay(
+        self,
+        records: Iterable[StreamRecord | EntityProfile],
+        k: int | None = None,
+        query: bool = True,
+    ) -> Iterator[ReplayEvent]:
+        """Apply a record stream, yielding each arrival's candidates.
+
+        Bare :class:`EntityProfile` items are treated as source-0 upserts.
+        With ``query=False`` the index is only built (bulk loading).
+        """
+        for item in records:
+            if isinstance(item, EntityProfile):
+                item = StreamRecord("upsert", item.profile_id, 0, item)
+            if item.op == "delete":
+                applied = self.delete(item.profile_id, item.source)
+                yield ReplayEvent(item, None, applied)
+                continue
+            assert item.profile is not None
+            self.upsert(item.profile, item.source)
+            result = (
+                self.candidates(item.profile_id, k=k, source=item.source)
+                if query
+                else None
+            )
+            yield ReplayEvent(item, result)
+
+    # -- persistence ---------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> None:
+        """Persist the warmed session as one JSON document (``.gz`` aware).
+
+        The snapshot carries the session configuration, the loose schema,
+        and every live profile in node-id order, so :meth:`restore`
+        rebuilds an equivalent session (identical canonical ids, identical
+        query results) without re-running schema extraction.
+        """
+        index = self.index
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "kind": "clean-clean" if index.clean_clean else "dirty",
+            "index": {
+                "min_token_length": index.min_token_length,
+                "transformation": index.transformation,
+                "q": index.q,
+                "purging_ratio": index.purging_ratio,
+                "max_comparisons": index.max_comparisons,
+                "filtering_ratio": index.filtering_ratio,
+            },
+            "metablocker": {
+                "weighting": self.metablocker.weighting.value,
+                "entropy_boost": self.metablocker.entropy_boost,
+                "consistency": self.metablocker.consistency,
+                "backend": self.metablocker.backend,
+                "pruning": _pruning_to_payload(self.metablocker.pruning),
+            },
+            "default_k": self.default_k,
+            "partitioning": (
+                index.partitioning.to_dict()
+                if index.partitioning is not None
+                else None
+            ),
+            "profiles": [
+                {
+                    "id": index.profile_of(node).profile_id,
+                    "source": index.source_of(node),
+                    "attributes": [
+                        list(pair)
+                        for pair in index.profile_of(node).attributes
+                    ],
+                }
+                for node in index.live_nodes()
+            ],
+        }
+        with open_text(path, "w") as handle:
+            json.dump(payload, handle, ensure_ascii=False)
+            handle.write("\n")
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "StreamingSession":
+        """Rebuild a session from a :meth:`snapshot` file."""
+        with open_text(path) as handle:
+            payload = json.load(handle)
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"{path}: unsupported snapshot format {payload.get('format')!r}"
+            )
+        meta = payload["metablocker"]
+        session = cls.__new__(cls)
+        partitioning = (
+            AttributePartitioning.from_dict(payload["partitioning"])
+            if payload["partitioning"] is not None
+            else None
+        )
+        index_cfg = payload["index"]
+        pruning = _pruning_from_payload(meta["pruning"])
+        # Reconstruct the public config attribute so restored sessions are
+        # indistinguishable from freshly built ones to config consumers.
+        session.config = BlastConfig(
+            min_token_length=index_cfg["min_token_length"],
+            purging_ratio=index_cfg["purging_ratio"],
+            filtering_ratio=index_cfg["filtering_ratio"],
+            weighting=meta["weighting"],
+            entropy_boost=meta["entropy_boost"],
+            pruning_c=getattr(pruning, "c", 2.0),
+            pruning_d=getattr(pruning, "d", 2.0),
+            backend=meta["backend"],
+            stream_consistency=meta["consistency"],
+            stream_query_k=payload.get("default_k"),
+        )
+        session.index = IncrementalBlockIndex(
+            clean_clean=payload["kind"] == "clean-clean",
+            partitioning=partitioning,
+            min_token_length=index_cfg["min_token_length"],
+            transformation=index_cfg["transformation"],
+            q=index_cfg["q"],
+            purging_ratio=index_cfg["purging_ratio"],
+            max_comparisons=index_cfg["max_comparisons"],
+            filtering_ratio=index_cfg["filtering_ratio"],
+        )
+        session.metablocker = StreamingMetaBlocker(
+            session.index,
+            weighting=meta["weighting"],
+            pruning=pruning,
+            entropy_boost=meta["entropy_boost"],
+            consistency=meta["consistency"],
+            backend=meta["backend"],
+        )
+        session.default_k = payload.get("default_k")
+        for record in payload["profiles"]:
+            session.upsert(
+                profile_from_record(record), source=int(record.get("source", 0))
+            )
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSession(profiles={self.index.num_profiles}, "
+            f"keys={self.index.num_blocks}, "
+            f"consistency={self.metablocker.consistency!r})"
+        )
+
+
+# -- pruning (de)serialization -----------------------------------------------
+# Only the node-centric schemes a StreamingMetaBlocker accepts can ever
+# reach a snapshot, so only those are encoded.
+
+def _pruning_to_payload(pruning: PruningScheme) -> dict:
+    """Serialize a built-in node-centric pruning scheme."""
+    kind = type(pruning)
+    if kind is BlastPruning:
+        return {"type": "blast", "c": pruning.c, "d": pruning.d}
+    if kind is WeightNodePruning:
+        return {"type": "wnp", "reciprocal": pruning.reciprocal}
+    if kind is CardinalityNodePruning:
+        return {"type": "cnp", "reciprocal": pruning.reciprocal, "k": pruning.k}
+    raise ValueError(
+        f"cannot snapshot custom pruning scheme {kind.__name__}"
+    )
+
+
+def _pruning_from_payload(payload: dict) -> PruningScheme:
+    kind = payload["type"]
+    if kind == "blast":
+        return BlastPruning(c=payload["c"], d=payload["d"])
+    if kind == "wnp":
+        return WeightNodePruning(reciprocal=payload["reciprocal"])
+    if kind == "cnp":
+        return CardinalityNodePruning(
+            reciprocal=payload["reciprocal"], k=payload["k"]
+        )
+    raise ValueError(f"unknown pruning payload type {kind!r}")

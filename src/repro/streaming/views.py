@@ -1,0 +1,355 @@
+"""Query-time views over a live block index.
+
+A *view* is the bridge between the mutable
+:class:`~repro.streaming.index.IncrementalBlockIndex` and the per-node
+meta-blocking kernels: it decides how Block Purging / Block Filtering and
+the graph statistics (``|B_i|``, ``|B|``, per-block entropy) are evaluated
+at query time.  Two built-ins are registered under
+:data:`repro.core.registry.STREAM_VIEWS`:
+
+``exact``
+    Lazily materializes the *batch* semantics: on first query after a
+    mutation the live postings are lowered to a
+    :class:`~repro.blocking.base.BlockCollection`, run through the very
+    same :func:`~repro.blocking.purging.block_purging` and
+    :func:`~repro.blocking.filtering.block_filtering` code the batch
+    pipeline executes, and cached (with the CSR
+    :class:`~repro.graph.entity_index.EntityIndex`) until the next
+    mutation.  Queries against a frozen index reproduce the batch blocking
+    graph statistic-for-statistic — this is the mode the stream-vs-batch
+    equivalence property is proven against.
+
+``fast``
+    Reads the live structures directly with incrementally maintained
+    statistics: purging is a per-key size check against the live profile
+    count, filtering keeps only the *query* profile in its smallest key
+    fraction (co-occurring profiles are not re-filtered), and ``|B_i|`` is
+    the raw per-node key count.  O(neighbourhood) per query with zero
+    rebuild cost per mutation — the arrival-time serving mode — at the
+    price of approximating the batch restructurings.
+
+Both views hand the kernels the same :class:`NeighborStats` arrays, so the
+weighting code upstream is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from repro.blocking.base import build_blocks
+from repro.blocking.filtering import block_filtering
+from repro.blocking.purging import block_purging
+from repro.streaming.index import IncrementalBlockIndex
+
+__all__ = ["NeighborStats", "ExactStreamView", "FastStreamView"]
+
+
+@dataclass(frozen=True)
+class NeighborStats:
+    """Per-neighbor co-occurrence statistics of one query node.
+
+    ``neighbors`` holds *canonical* ids (view-dependent space), strictly
+    ascending; the parallel arrays accumulate, over the shared blocks in
+    block order, exactly what :class:`repro.graph.blocking_graph.EdgeStats`
+    accumulates edge-wide.
+    """
+
+    neighbors: np.ndarray
+    shared: np.ndarray
+    arcs_mass: np.ndarray
+    entropy_mass: np.ndarray
+
+    @property
+    def degree(self) -> int:
+        return int(self.neighbors.size)
+
+
+_EMPTY_STATS = NeighborStats(
+    neighbors=np.zeros(0, dtype=np.int64),
+    shared=np.zeros(0, dtype=np.int64),
+    arcs_mass=np.zeros(0, dtype=np.float64),
+    entropy_mass=np.zeros(0, dtype=np.float64),
+)
+
+
+def _aggregate(
+    members: np.ndarray,
+    arcs_share: np.ndarray,
+    entropies: np.ndarray,
+) -> NeighborStats:
+    """Deduplicate co-occurring members into :class:`NeighborStats`.
+
+    ``members`` lists one entry per (block, co-member) incidence in block
+    order; ``bincount`` over the ``unique`` inverse accumulates each
+    neighbor's float masses in that original order, matching the reference
+    path's sequential ``stats.x += ...`` rounding.
+    """
+    if members.size == 0:
+        return _EMPTY_STATS
+    neighbors, inverse = np.unique(members, return_inverse=True)
+    shared = np.bincount(inverse, minlength=neighbors.size)
+    arcs = np.bincount(inverse, weights=arcs_share, minlength=neighbors.size)
+    entropy = np.bincount(inverse, weights=entropies, minlength=neighbors.size)
+    return NeighborStats(
+        neighbors=neighbors.astype(np.int64),
+        shared=shared.astype(np.int64),
+        arcs_mass=arcs,
+        entropy_mass=entropy,
+    )
+
+
+class ExactStreamView:
+    """Batch-faithful view: lazily purged + filtered snapshot of the index.
+
+    Canonical ids follow the batch global-indexing convention: source-0
+    nodes (in node-id order, i.e. first-upsert order) occupy ``[0, n1)``,
+    source-1 nodes ``[n1, n1 + n2)``.  Replaying a dataset in its profile
+    order therefore assigns every profile its batch global index.
+    """
+
+    name = "exact"
+    #: Exact views answer neighbor-side thresholds, enabling the full
+    #: two-endpoint node-centric pruning rules.
+    supports_neighbor_thresholds = True
+
+    def __init__(self, index: IncrementalBlockIndex) -> None:
+        self.index = index
+        self.version = index.version
+
+        live = index.live_nodes()
+        if index.clean_clean:
+            live.sort(key=lambda node: (index.source_of(node), node))
+            self.offset2 = sum(
+                1 for node in live if index.source_of(node) == 0
+            )
+        else:
+            self.offset2 = len(live)
+        self._nodes = live  # canonical id -> index node id
+        gidx = {node: position for position, node in enumerate(live)}
+        self._canonical = gidx  # index node id -> canonical id
+
+        if index.clean_clean:
+            keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
+            for key in index.keys():
+                posting = index.posting(key)
+                keyed_cc[key] = (
+                    {gidx[n] for n in posting.left},
+                    {gidx[n] for n in posting.right or ()},
+                )
+            collection = build_blocks(keyed_cc, is_clean_clean=True)
+        else:
+            keyed: dict[str, set[int]] = {}
+            for key in index.keys():
+                keyed[key] = {gidx[n] for n in index.posting(key).left}
+            collection = build_blocks(keyed, is_clean_clean=False)
+
+        if len(collection) and index.num_profiles:
+            collection = block_purging(
+                collection,
+                index.num_profiles,
+                max_profile_ratio=index.purging_ratio,
+                max_comparisons=index.max_comparisons,
+            )
+            collection = block_filtering(collection, ratio=index.filtering_ratio)
+        self.collection = collection
+
+        ei = collection.entity_index
+        self._entity_index = ei
+        self.total_blocks = len(collection)
+        self._node_blocks = ei.node_block_counts
+        self._block_ptr = ei.block_ptr.astype(np.int64)
+        self._block_split = ei.block_split.astype(np.int64)
+        self._entity_ids = ei.entity_ids.astype(np.int64)
+        comparisons = ei.block_comparisons
+        self._arcs_share = np.zeros(len(collection), dtype=np.float64)
+        np.divide(
+            1.0, comparisons, out=self._arcs_share, where=comparisons > 0
+        )
+        self._entropies = ei.block_entropies(
+            index.key_entropy if index.partitioning is not None else None
+        )
+
+    # -- id mapping ----------------------------------------------------------
+
+    def canonical_of(self, node: int) -> int:
+        """Canonical (batch global) id of an index node id."""
+        try:
+            return self._canonical[node]
+        except KeyError:
+            raise KeyError(f"node {node} is not live") from None
+
+    def nodes_of(self, canonical: np.ndarray) -> list[int]:
+        """Map canonical ids back to index node ids."""
+        nodes = self._nodes
+        return [nodes[c] for c in canonical.tolist()]
+
+    # -- graph statistics ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Profiles appearing in at least one (surviving) block."""
+        return self._entity_index.num_indexed_profiles
+
+    @property
+    def total_assignments(self) -> int:
+        """``sum_i |B_i|`` over the purged + filtered collection."""
+        return int(self._node_blocks.sum())
+
+    def node_blocks(self, canonical: np.ndarray) -> np.ndarray:
+        """``|B_i|`` (filtered) for an array of canonical ids."""
+        return self._node_blocks[canonical]
+
+    def node_blocks_scalar(self, canonical: int) -> int:
+        if not 0 <= canonical < self._node_blocks.size:
+            return 0
+        return int(self._node_blocks[canonical])
+
+    def gather(self, canonical: int) -> NeighborStats:
+        """Co-occurrence statistics of one canonical node."""
+        blocks = self._entity_index.blocks_of(canonical)
+        if blocks.size == 0:
+            return _EMPTY_STATS
+        if self.index.clean_clean:
+            if canonical < self.offset2:  # query node on the E1 side
+                starts = self._block_split[blocks]
+                ends = self._block_ptr[blocks + 1]
+            else:
+                starts = self._block_ptr[blocks]
+                ends = self._block_split[blocks]
+        else:
+            starts = self._block_ptr[blocks]
+            ends = self._block_ptr[blocks + 1]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return _EMPTY_STATS
+        offsets = np.zeros(blocks.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        flat = np.repeat(starts - offsets, lengths) + np.arange(
+            total, dtype=np.int64
+        )
+        members = self._entity_ids[flat]
+        block_rep = np.repeat(blocks, lengths)
+        if not self.index.clean_clean:
+            mask = members != canonical
+            members = members[mask]
+            block_rep = block_rep[mask]
+        return _aggregate(
+            members,
+            self._arcs_share[block_rep],
+            self._entropies[block_rep],
+        )
+
+
+class FastStreamView:
+    """Read-through view with incremental statistics (serving mode).
+
+    Canonical ids are the index node ids themselves.  Purging is evaluated
+    per key against the live profile count; filtering restricts only the
+    query node to its smallest-key fraction (ties broken by key, matching
+    the batch position order of key-sorted collections); ``|B_i|`` is the
+    raw live key count per node.  The batch restructurings are therefore
+    approximated, not reproduced — use the ``exact`` view when batch
+    parity matters more than arrival-time latency.
+    """
+
+    name = "fast"
+    supports_neighbor_thresholds = False
+
+    def __init__(self, index: IncrementalBlockIndex) -> None:
+        self.index = index
+        self.version = index.version
+
+    # -- id mapping ----------------------------------------------------------
+
+    def canonical_of(self, node: int) -> int:
+        self.index.profile_of(node)  # KeyError for dead nodes
+        return node
+
+    def nodes_of(self, canonical: np.ndarray) -> list[int]:
+        return canonical.tolist()
+
+    # -- graph statistics ----------------------------------------------------
+
+    @property
+    def total_blocks(self) -> int:
+        return self.index.num_blocks
+
+    @property
+    def num_nodes(self) -> int:
+        return self.index.num_profiles
+
+    @property
+    def total_assignments(self) -> int:
+        return self.index.total_block_assignments
+
+    def node_blocks(self, canonical: np.ndarray) -> np.ndarray:
+        index = self.index
+        return np.fromiter(
+            (index.node_block_count(n) for n in canonical.tolist()),
+            dtype=np.int64,
+            count=canonical.size,
+        )
+
+    def node_blocks_scalar(self, canonical: int) -> int:
+        return self.index.node_block_count(canonical)
+
+    def surviving_keys(self, node: int) -> list[str]:
+        """The query node's keys after lazy purging + query-side filtering."""
+        index = self.index
+        size_cap = index.purging_ratio * index.num_profiles
+        max_comparisons = index.max_comparisons
+        active: list[tuple[int, str]] = []
+        for key in index.keys_of(node):
+            posting = index.posting(key)
+            if posting.num_comparisons == 0:
+                continue
+            if posting.size > size_cap:
+                continue
+            if (
+                max_comparisons is not None
+                and posting.num_comparisons > max_comparisons
+            ):
+                continue
+            active.append((posting.size, key))
+        if not active:
+            return []
+        active.sort()
+        keep = ceil(index.filtering_ratio * len(active))
+        return [key for _, key in active[:keep]]
+
+    def gather(self, canonical: int) -> NeighborStats:
+        index = self.index
+        keys = self.surviving_keys(canonical)
+        if not keys:
+            return _EMPTY_STATS
+        source = index.source_of(canonical)
+        member_chunks: list[np.ndarray] = []
+        arcs_chunks: list[np.ndarray] = []
+        entropy_chunks: list[np.ndarray] = []
+        for key in keys:
+            posting = index.posting(key)
+            left, right = posting.arrays()
+            if index.clean_clean:
+                others = right if source == 0 else left
+            else:
+                others = left[left != canonical]
+            if others.size == 0:
+                continue
+            member_chunks.append(others)
+            arcs_chunks.append(
+                np.full(others.size, 1.0 / posting.num_comparisons)
+            )
+            entropy_chunks.append(
+                np.full(others.size, index.key_entropy(key))
+            )
+        if not member_chunks:
+            return _EMPTY_STATS
+        return _aggregate(
+            np.concatenate(member_chunks),
+            np.concatenate(arcs_chunks),
+            np.concatenate(entropy_chunks),
+        )

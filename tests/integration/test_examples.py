@@ -56,6 +56,13 @@ class TestExamples:
         assert "resolved" in out
         assert "duplicate group" in out
 
+    def test_streaming_session(self):
+        out = _run("streaming_session.py")
+        assert "arrival-time replay:" in out
+        assert "first match:" in out
+        assert "snapshot round trip:" in out
+        assert "identical=True" in out
+
     @pytest.mark.slow
     def test_end_to_end_er(self):
         out = _run("end_to_end_er.py")

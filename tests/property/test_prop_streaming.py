@@ -1,0 +1,227 @@
+"""Property-based equivalence: stream replay vs the batch pipeline.
+
+The streaming subsystem's headline guarantee: replaying a dataset through
+an :class:`~repro.streaming.IncrementalBlockIndex` and querying every
+profile over the ``exact`` view reproduces the batch pipeline's retained
+neighbourhoods — token blocking (plain or cluster-disambiguated) ->
+Block Purging -> Block Filtering -> weighting -> node-centric pruning —
+*for every profile*, on any clean-clean or dirty collection, for every
+supported weighting scheme and node-centric pruning scheme, with either
+query backend, and regardless of interleaved deletes.  Hypothesis hammers
+that contract with random collections.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking.schema_aware import make_key_entropy
+from repro.core import prepare_blocks
+from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
+from repro.graph import BlockingGraph, WeightingScheme, compute_weights
+from repro.graph.pruning import (
+    BlastPruning,
+    CardinalityNodePruning,
+    WeightNodePruning,
+)
+from repro.schema.partition import AttributePartitioning
+from repro.streaming import IncrementalBlockIndex, StreamingMetaBlocker
+
+ATTRIBUTES = ("name", "job", "city")
+WORDS = ("abram", "ellen", "smith", "jones", "retail", "seller",
+         "york", "main", "street")
+
+profiles = st.builds(
+    lambda pid, pairs: EntityProfile(pid, tuple(pairs)),
+    pid=st.uuids().map(str),
+    pairs=st.lists(
+        st.tuples(
+            st.sampled_from(ATTRIBUTES),
+            st.lists(
+                st.sampled_from(WORDS), min_size=1, max_size=3
+            ).map(" ".join),
+        ),
+        min_size=0,
+        max_size=4,
+    ),
+)
+
+
+def _unique_by_id(items):
+    seen: set[str] = set()
+    out = []
+    for item in items:
+        if item.profile_id not in seen:
+            seen.add(item.profile_id)
+            out.append(item)
+    return out
+
+
+profile_lists = st.lists(profiles, min_size=1, max_size=12).map(_unique_by_id)
+
+dirty_datasets = profile_lists.map(
+    lambda ps: ERDataset(
+        EntityCollection(ps, "E"),
+        None,
+        GroundTruth([], clean_clean=False),
+        name="prop-dirty",
+    )
+)
+
+clean_clean_datasets = st.tuples(profile_lists, profile_lists).map(
+    lambda pair: ERDataset(
+        EntityCollection(pair[0], "E1"),
+        EntityCollection(pair[1], "E2"),
+        GroundTruth([], clean_clean=True),
+        name="prop-cc",
+    )
+)
+
+datasets = st.one_of(dirty_datasets, clean_clean_datasets)
+
+PRUNINGS = [
+    BlastPruning(),
+    BlastPruning(c=1.5, d=3.0),
+    WeightNodePruning(reciprocal=False),
+    WeightNodePruning(reciprocal=True),
+    CardinalityNodePruning(reciprocal=False),
+    CardinalityNodePruning(reciprocal=True, k=2),
+]
+
+SCHEMES = [
+    WeightingScheme.CHI_H,
+    WeightingScheme.CBS,
+    WeightingScheme.JS,
+    WeightingScheme.ECBS,
+    WeightingScheme.ARCS,
+]
+
+
+def partitioning_for(dataset: ERDataset) -> AttributePartitioning:
+    """A deterministic two-cluster loose schema with non-trivial entropies."""
+    sources = (0, 1) if dataset.is_clean_clean else (0,)
+    return AttributePartitioning(
+        clusters=[
+            [(s, "name") for s in sources],
+            [(s, "job") for s in sources],
+        ],
+        glue=[(s, "city") for s in sources],
+        entropies={0: 0.5, 1: 1.75, 2: 0.25},
+    )
+
+
+def batch_neighbourhoods(dataset, scheme, pruning, partitioning=None):
+    """gidx -> retained partner set from the batch pipeline."""
+    blocks = prepare_blocks(dataset, partitioning=partitioning)
+    graph = BlockingGraph(
+        blocks,
+        key_entropy=(
+            None if partitioning is None else make_key_entropy(partitioning)
+        ),
+    )
+    weights = compute_weights(graph, scheme)
+    retained = pruning.prune(graph, weights)
+    out: dict[int, set[int]] = {g: set() for g, _ in dataset.iter_profiles()}
+    for i, j in retained:
+        out[i].add(j)
+        out[j].add(i)
+    return out
+
+
+def stream_neighbourhoods(
+    dataset, scheme, pruning, partitioning=None, backend="vectorized",
+    deletions=(),
+):
+    """gidx -> retained partner set from per-profile streaming queries.
+
+    *deletions* is a set of gidx to upsert, delete, and re-upsert during
+    the replay — exercising mutation without changing the final state.
+    """
+    index = IncrementalBlockIndex(
+        clean_clean=dataset.is_clean_clean, partitioning=partitioning
+    )
+    for gidx, profile in dataset.iter_profiles():
+        index.upsert(profile, source=dataset.source_of(gidx))
+        if gidx in deletions:
+            index.delete(profile.profile_id, source=dataset.source_of(gidx))
+            index.upsert(profile, source=dataset.source_of(gidx))
+    meta = StreamingMetaBlocker(
+        index,
+        weighting=scheme,
+        pruning=pruning,
+        consistency="exact",
+        backend=backend,
+    )
+    offset2 = dataset.offset2 if dataset.is_clean_clean else 0
+    out: dict[int, set[int]] = {}
+    for gidx, profile in dataset.iter_profiles():
+        partners = set()
+        for c in meta.candidates(
+            profile.profile_id, source=dataset.source_of(gidx)
+        ):
+            if c.source == 0:
+                partners.add(dataset.collection1.index_of(c.profile_id))
+            else:
+                partners.add(
+                    offset2 + dataset.collection2.index_of(c.profile_id)
+                )
+        out[gidx] = partners
+    return out
+
+
+class TestStreamMatchesBatch:
+    @given(
+        datasets,
+        st.sampled_from(SCHEMES),
+        st.sampled_from(PRUNINGS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_profile_neighbourhood_token_blocking(
+        self, dataset, scheme, pruning
+    ):
+        batch = batch_neighbourhoods(dataset, scheme, pruning)
+        stream = stream_neighbourhoods(dataset, scheme, pruning)
+        assert stream == batch
+
+    @given(
+        datasets,
+        st.sampled_from(SCHEMES),
+        st.sampled_from(PRUNINGS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_profile_neighbourhood_schema_aware(
+        self, dataset, scheme, pruning
+    ):
+        partitioning = partitioning_for(dataset)
+        batch = batch_neighbourhoods(dataset, scheme, pruning, partitioning)
+        stream = stream_neighbourhoods(dataset, scheme, pruning, partitioning)
+        assert stream == batch
+
+    @given(datasets, st.sampled_from(PRUNINGS))
+    @settings(max_examples=30, deadline=None)
+    def test_python_backend_agrees(self, dataset, pruning):
+        vectorized = stream_neighbourhoods(
+            dataset, WeightingScheme.CHI_H, pruning, backend="vectorized"
+        )
+        python = stream_neighbourhoods(
+            dataset, WeightingScheme.CHI_H, pruning, backend="python"
+        )
+        assert vectorized == python
+
+    @given(datasets, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_interleaved_delete_reupsert_cycles_are_transparent(
+        self, dataset, data
+    ):
+        gidxs = [g for g, _ in dataset.iter_profiles()]
+        deletions = data.draw(
+            st.sets(st.sampled_from(gidxs)), label="deletions"
+        )
+        batch = batch_neighbourhoods(
+            dataset, WeightingScheme.CHI_H, BlastPruning()
+        )
+        stream = stream_neighbourhoods(
+            dataset,
+            WeightingScheme.CHI_H,
+            BlastPruning(),
+            deletions=deletions,
+        )
+        assert stream == batch

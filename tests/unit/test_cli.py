@@ -218,3 +218,75 @@ class TestHelp:
         assert "weightings:" in out and "chi_h" in out
         assert "prunings:" in out and "blast" in out
         assert "backends:" in out and "vectorized" in out
+        assert "stream views:" in out and "exact" in out
+
+    def test_help_lists_stream_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "stream" in capsys.readouterr().out
+
+
+class TestStream:
+    @pytest.fixture
+    def dirty_stream(self, tmp_path):
+        outdir = tmp_path / "data"
+        assert main(["generate", "--dataset", "census", "--scale", "0.3",
+                     "--outdir", str(outdir)]) == 0
+        return outdir / "left.jsonl"
+
+    def test_replays_and_emits_candidates(self, dirty_stream, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "matches.jsonl"
+        code = main(["stream", "--input", str(dirty_stream),
+                     "--output", str(output)])
+        assert code == 0
+        assert "queries/s" in capsys.readouterr().out
+        lines = [json.loads(line) for line in output.read_text().splitlines()]
+        assert all(line["op"] == "upsert" for line in lines)
+        assert any(line["candidates"] for line in lines)
+        # Arrival-time symmetry: every emitted partner arrived earlier.
+        seen: set[str] = set()
+        for line in lines:
+            for candidate in line["candidates"]:
+                assert candidate["id"] in seen
+            seen.add(line["id"])
+
+    def test_gzip_input_and_output(self, dirty_stream, tmp_path):
+        import gzip
+        import shutil
+
+        gz_input = tmp_path / "stream.jsonl.gz"
+        with dirty_stream.open("rb") as src, gzip.open(gz_input, "wb") as dst:
+            shutil.copyfileobj(src, dst)
+        output = tmp_path / "matches.jsonl.gz"
+        assert main(["stream", "--input", str(gz_input),
+                     "--output", str(output), "--consistency", "exact"]) == 0
+        with gzip.open(output, "rt", encoding="utf-8") as handle:
+            assert sum(1 for _ in handle) > 0
+
+    def test_snapshot_written_and_restored(self, dirty_stream, tmp_path, capsys):
+        snapshot = tmp_path / "snap.json.gz"
+        assert main(["stream", "--input", str(dirty_stream),
+                     "--snapshot", str(snapshot), "--no-query"]) == 0
+        assert snapshot.exists()
+        assert main(["stream", "--input", str(dirty_stream),
+                     "--snapshot", str(snapshot)]) == 0
+        assert "restored" in capsys.readouterr().out
+
+    def test_missing_input_is_an_error_not_a_crash(self, tmp_path, capsys):
+        code = main(["stream", "--input", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_edge_centric_pruning_reported_as_error(self, dirty_stream, capsys):
+        code = main(["stream", "--input", str(dirty_stream),
+                     "--pruning", "wep"])
+        assert code == 1
+        assert "node-centric" in capsys.readouterr().err
+
+    def test_ejs_weighting_reported_as_error(self, dirty_stream, capsys):
+        code = main(["stream", "--input", str(dirty_stream),
+                     "--weighting", "ejs"])
+        assert code == 1
+        assert "EJS" in capsys.readouterr().err

@@ -19,6 +19,7 @@ MODULE_NAMES = (
     "repro.data.profile",
     "repro.graph.contingency",
     "repro.lsh.scurve",
+    "repro.streaming.session",
 )
 
 

@@ -1,12 +1,16 @@
 """Tests for repro.data.io round-trips and error handling."""
 
+import gzip
+
 import pytest
 
 from repro.data import EntityCollection, EntityProfile, GroundTruth
 from repro.data.io import (
+    iter_collection,
     load_collection,
     load_csv_collection,
     load_ground_truth,
+    open_text,
     save_collection,
     save_ground_truth,
 )
@@ -53,6 +57,73 @@ class TestJsonLines:
         path = tmp_path / "stemname.jsonl"
         save_collection(collection, path)
         assert load_collection(path).name == "stemname"
+
+
+class TestStreamingIteration:
+    def test_iter_collection_yields_profiles_lazily(self, collection, tmp_path):
+        path = tmp_path / "c.jsonl"
+        save_collection(collection, path)
+        iterator = iter_collection(path)
+        first = next(iterator)
+        assert first.profile_id == "p1"
+        assert [p.profile_id for p in iterator] == ["p2"]
+
+    def test_iter_collection_skips_blank_and_reports_bad_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"id": "a", "attributes": [["n", "x"]]}\n'
+            "\n"
+            "   \n"
+            "{not json}\n",
+            encoding="utf-8",
+        )
+        iterator = iter_collection(path)
+        assert next(iterator).profile_id == "a"
+        with pytest.raises(ValueError, match="mixed.jsonl:4"):
+            next(iterator)
+
+    def test_attributes_not_a_list_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "a", "attributes": 3}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            list(iter_collection(path))
+
+
+class TestGzipTransparency:
+    def test_collection_round_trip(self, collection, tmp_path):
+        path = tmp_path / "c.jsonl.gz"
+        save_collection(collection, path)
+        # The file really is gzip-compressed, not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = load_collection(path)
+        assert loaded.name == "c"  # .jsonl.gz stripped down to the stem
+        assert loaded.get("p1").attributes == collection.get("p1").attributes
+
+    def test_unicode_survives_compression(self, tmp_path):
+        c = EntityCollection([EntityProfile("p", (("name", "José Müller"),))], "u")
+        path = tmp_path / "u.jsonl.gz"
+        save_collection(c, path)
+        assert load_collection(path).get("p").values("name") == ["José Müller"]
+
+    def test_ground_truth_round_trip(self, tmp_path):
+        gt = GroundTruth([("a1", "b1"), ("a2", "b2")])
+        path = tmp_path / "gt.csv.gz"
+        save_ground_truth(gt, path)
+        assert set(load_ground_truth(path)) == set(gt)
+
+    def test_open_text_reads_external_gzip(self, tmp_path):
+        path = tmp_path / "x.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("hello\n")
+        with open_text(path) as handle:
+            assert handle.read() == "hello\n"
+
+    def test_malformed_gz_line_reports_position(self, collection, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write('{"id": "p1"}\n')  # missing attributes
+        with pytest.raises(ValueError, match="bad.jsonl.gz:1"):
+            load_collection(path)
 
 
 class TestGroundTruthCsv:
