@@ -48,7 +48,14 @@ from repro.core import (
     register_stream_view,
     register_weighting,
 )
-from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
+from repro.data import (
+    EntityCollection,
+    EntityProfile,
+    ERDataset,
+    GroundTruth,
+    InternedCorpus,
+    TokenDictionary,
+)
 from repro.datasets import load_clean_clean, load_dirty
 from repro.graph import MetaBlocker, WeightingScheme
 from repro.metrics import evaluate_blocks
@@ -59,7 +66,7 @@ from repro.streaming import (
     StreamingStage,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Blast",
@@ -92,6 +99,8 @@ __all__ = [
     "EntityCollection",
     "GroundTruth",
     "ERDataset",
+    "InternedCorpus",
+    "TokenDictionary",
     "load_clean_clean",
     "load_dirty",
     "MetaBlocker",

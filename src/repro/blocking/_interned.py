@@ -1,0 +1,165 @@
+"""Array-side block assembly over the interned corpus.
+
+Every token-derived blocker reduces to the same shape of work: produce
+``(profile, key)`` assignments, deduplicate them, group by key, drop the
+groups that imply no comparison, and emit the blocks in sorted-key order.
+The legacy implementations did all of that through dicts of strings and
+Python sets; the kernels here run the whole reduction in numpy over
+interned ids and materialize strings exactly once per *distinct* key, at
+the API boundary.
+
+Because the grouping already produces the flat CSR member layout, the
+:class:`~repro.graph.entity_index.EntityIndex` of the resulting collection
+is built directly from the same arrays (via
+:meth:`EntityIndex.from_arrays`) and attached to the collection's cache —
+the vectorized meta-blocking backend then skips its dict-of-strings
+lowering pass entirely.
+
+The output is bit-for-bit identical to the string-era path: same keys,
+same sorted-key block order, same member frozensets, same CSR arrays (the
+equivalence property suite in ``tests/property/test_prop_corpus.py``
+enforces this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.blocking.base import Block, BlockCollection
+
+#: Bits reserved for the row (profile) part of a packed (key, row) id.
+_ROW_SHIFT = np.int64(31)
+_ROW_MASK = np.int64((1 << 31) - 1)
+
+
+def packed_key_of(
+    token_of: Callable[[int], str], modulus: int, separator: str
+) -> Callable[[int], str]:
+    """Decoder for keys packed as ``term_id * modulus + suffix_id``.
+
+    The disambiguated blockers (schema-aware ``token#cluster``, standard
+    ``token@group``) pack their two-part keys into one integer code; this
+    is the single inverse both use, so packing and decoding cannot drift
+    apart per blocker.
+    """
+
+    def key_of(code: int) -> str:
+        return f"{token_of(code // modulus)}{separator}{code % modulus}"
+
+    return key_of
+
+
+def group_assignments(
+    rows: np.ndarray, codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate ``(row, code)`` assignments and group them by code.
+
+    Returns ``(group_codes, starts, sizes, members)``: the distinct codes
+    ascending, and for group *g* the member rows
+    ``members[starts[g] : starts[g] + sizes[g]]``, sorted ascending.
+    """
+    if rows.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    codes = np.asarray(codes, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    # Compact arbitrary int64 key codes to dense indices so a single
+    # (key, row) int64 pack both deduplicates and key-major sorts.
+    group_codes, key_idx = np.unique(codes, return_inverse=True)
+    packed = np.unique((key_idx.astype(np.int64) << _ROW_SHIFT) | rows)
+    key_part = packed >> _ROW_SHIFT
+    members = packed & _ROW_MASK
+    starts = np.flatnonzero(np.r_[True, key_part[1:] != key_part[:-1]])
+    sizes = np.diff(np.r_[starts, key_part.size])
+    return group_codes, starts.astype(np.int64), sizes, members
+
+
+def collection_from_assignments(
+    rows: np.ndarray,
+    codes: np.ndarray,
+    key_of: Callable[[int], str],
+    is_clean_clean: bool,
+    offset2: int,
+    max_block_size: int | None = None,
+) -> BlockCollection:
+    """Assemble a :class:`BlockCollection` from ``(profile, key-code)`` pairs.
+
+    The exact array analogue of
+    :func:`repro.blocking.base.build_blocks`: assignments are
+    deduplicated, no-comparison groups (single-member dirty blocks,
+    one-sided clean-clean blocks) are dropped, keys are materialized via
+    *key_of* and emitted in sorted order.  *max_block_size* additionally
+    drops oversized groups (the suffix-array purge).  The collection's
+    ``entity_index`` cache is pre-populated from the group arrays.
+    """
+    group_codes, starts, sizes, members = group_assignments(rows, codes)
+
+    if is_clean_clean:
+        left_sizes = (
+            np.add.reduceat((members < offset2).astype(np.int64), starts)
+            if group_codes.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        right_sizes = sizes - left_sizes
+        comparisons = left_sizes * right_sizes
+        valid = (left_sizes > 0) & (right_sizes > 0)
+    else:
+        left_sizes = sizes
+        comparisons = sizes * (sizes - 1) // 2
+        valid = sizes >= 2
+    if max_block_size is not None:
+        valid &= sizes <= max_block_size
+
+    keep = np.flatnonzero(valid)
+    keys = [key_of(int(code)) for code in group_codes[keep]]
+    order = sorted(range(len(keys)), key=keys.__getitem__)
+
+    blocks: list[Block] = []
+    id_chunks: list[np.ndarray] = []
+    sizes_out = np.zeros(len(order), dtype=np.int32)
+    lefts_out = np.zeros(len(order), dtype=np.int32)
+    comps_out = np.zeros(len(order), dtype=np.int64)
+    keys_out: list[str] = []
+    members_list = members  # int64, ascending within each group
+    for out_pos, key_pos in enumerate(order):
+        g = int(keep[key_pos])
+        group = members_list[starts[g] : starts[g] + sizes[g]]
+        ln = int(left_sizes[g])
+        if is_clean_clean:
+            blocks.append(
+                Block(
+                    keys[key_pos],
+                    frozenset(group[:ln].tolist()),
+                    frozenset(group[ln:].tolist()),
+                )
+            )
+        else:
+            blocks.append(Block(keys[key_pos], frozenset(group.tolist())))
+        keys_out.append(keys[key_pos])
+        sizes_out[out_pos] = sizes[g]
+        lefts_out[out_pos] = ln
+        comps_out[out_pos] = comparisons[g]
+        id_chunks.append(group)
+
+    collection = BlockCollection(blocks, is_clean_clean)
+
+    from repro.graph.entity_index import EntityIndex
+
+    block_ptr = np.zeros(len(order) + 1, dtype=np.int32)
+    np.cumsum(sizes_out, out=block_ptr[1:])
+    entity_ids = (
+        np.concatenate(id_chunks).astype(np.int32)
+        if id_chunks
+        else np.zeros(0, dtype=np.int32)
+    )
+    collection.__dict__["entity_index"] = EntityIndex.from_arrays(
+        is_clean_clean=is_clean_clean,
+        keys=tuple(keys_out),
+        block_ptr=block_ptr,
+        block_split=block_ptr[:-1] + lefts_out,
+        entity_ids=entity_ids,
+        block_comparisons=comps_out,
+    )
+    return collection

@@ -35,6 +35,7 @@ class CanopyBlocking:
         loose_threshold: float = 0.15,
         tight_threshold: float = 0.5,
         seed: int | None = None,
+        interned: bool = True,
     ) -> None:
         if not 0.0 < loose_threshold <= tight_threshold <= 1.0:
             raise ValueError(
@@ -44,13 +45,22 @@ class CanopyBlocking:
         self.loose_threshold = loose_threshold
         self.tight_threshold = tight_threshold
         self.seed = seed
+        self.interned = interned
 
     def build(self, dataset: ERDataset) -> BlockCollection:
         """Index *dataset* and return the canopy block collection."""
-        tokens = {
-            gidx: frozenset(profile.tokens())
-            for gidx, profile in dataset.iter_profiles()
-        }
+        if self.interned:
+            # Jaccard over interned token-id sets equals Jaccard over the
+            # token strings; the corpus sets skip the per-profile regex.
+            from repro.utils.tokenize import MIN_TOKEN_LENGTH
+
+            id_sets = dataset.corpus.profile_token_id_sets(MIN_TOKEN_LENGTH)
+            tokens = dict(enumerate(id_sets))
+        else:
+            tokens = {
+                gidx: frozenset(profile.tokens())
+                for gidx, profile in dataset.iter_profiles()
+            }
         rng = make_rng(self.seed)
         pool = list(tokens)
         order = [pool[i] for i in rng.permutation(len(pool))]

@@ -3,13 +3,17 @@
 A schema-agnostic baseline from the paper's related work (Section 5): every
 character q-gram of every token is a blocking key, trading more redundancy
 (and typo tolerance) for larger blocks than Token Blocking.
+
+The interned path grams each *distinct* token exactly once through the
+corpus q-gram table instead of re-deriving grams per occurrence.
 """
 
 from __future__ import annotations
 
+from repro.blocking._interned import collection_from_assignments
 from repro.blocking.base import BlockCollection, build_blocks
 from repro.data.dataset import ERDataset
-from repro.utils.tokenize import qgrams, tokenize
+from repro.utils.tokenize import MIN_TOKEN_LENGTH, qgrams, tokenize
 
 
 class QGramsBlocking:
@@ -19,15 +23,21 @@ class QGramsBlocking:
     ----------
     q:
         The gram length; 3 (trigrams) is the customary default.
+    interned:
+        Derive keys from the dataset's :class:`~repro.data.InternedCorpus`
+        (default) or re-tokenize through the legacy string path.
     """
 
-    def __init__(self, q: int = 3) -> None:
+    def __init__(self, q: int = 3, interned: bool = True) -> None:
         if q < 2:
             raise ValueError(f"q must be at least 2, got {q}")
         self.q = q
+        self.interned = interned
 
     def build(self, dataset: ERDataset) -> BlockCollection:
         """Index *dataset* and return the q-gram block collection."""
+        if self.interned:
+            return self._build_interned(dataset)
         if dataset.is_clean_clean:
             keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
             for gidx, profile in dataset.iter_profiles():
@@ -45,6 +55,19 @@ class QGramsBlocking:
             for key in self._keys_of(profile):
                 keyed.setdefault(key, set()).add(gidx)
         return build_blocks(keyed, is_clean_clean=False)
+
+    def _build_interned(self, dataset: ERDataset) -> BlockCollection:
+        corpus = dataset.corpus
+        rows, toks = corpus.distinct_profile_tokens(MIN_TOKEN_LENGTH)
+        table = corpus.qgram_table(self.q)
+        rows, grams, _ = corpus.expand_tokens(rows, toks, table)
+        return collection_from_assignments(
+            rows,
+            grams,
+            key_of=table[0].token_of,
+            is_clean_clean=dataset.is_clean_clean,
+            offset2=corpus.offset2,
+        )
 
     def _keys_of(self, profile) -> set[str]:
         keys: set[str] = set()

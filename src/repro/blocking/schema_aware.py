@@ -9,10 +9,18 @@ cross-role comparisons before meta-blocking even starts.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.blocking._interned import (
+    collection_from_assignments,
+    group_assignments,
+    packed_key_of,
+)
 from repro.blocking.base import BlockCollection, build_blocks
 from repro.data.dataset import ERDataset
 from repro.data.profile import EntityProfile
 from repro.schema.partition import AttributePartitioning
+from repro.utils.tokenize import MIN_TOKEN_LENGTH
 
 #: Separator between token and cluster id in disambiguated keys.  Chosen
 #: outside the normalized-token alphabet so keys can be split back apart.
@@ -103,6 +111,9 @@ class LooselySchemaAwareBlocking:
         disambiguation scheme.
     q:
         Gram length when ``transformation="qgram"``.
+    interned:
+        Derive keys from the dataset's :class:`~repro.data.InternedCorpus`
+        (default) or re-tokenize through the legacy string path.
     """
 
     def __init__(
@@ -111,6 +122,7 @@ class LooselySchemaAwareBlocking:
         min_token_length: int = 2,
         transformation: str = "token",
         q: int = 3,
+        interned: bool = True,
     ) -> None:
         if transformation not in ("token", "qgram"):
             raise ValueError(
@@ -122,9 +134,12 @@ class LooselySchemaAwareBlocking:
         self.min_token_length = min_token_length
         self.transformation = transformation
         self.q = q
+        self.interned = interned
 
     def build(self, dataset: ERDataset) -> BlockCollection:
         """Index *dataset* and return the disambiguated block collection."""
+        if self.interned:
+            return self._build_interned(dataset)
         if dataset.is_clean_clean:
             keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
             for gidx, profile in dataset.iter_profiles():
@@ -151,4 +166,68 @@ class LooselySchemaAwareBlocking:
             min_token_length=self.min_token_length,
             transformation=self.transformation,
             q=self.q,
+        )
+
+    # -- interned (corpus) path ---------------------------------------------
+
+    def _build_interned(self, dataset: ERDataset) -> BlockCollection:
+        """Disambiguated keys as ``(term_id, cluster_id)`` pairs.
+
+        Keys live as packed integer codes (``term * C + cluster``) through
+        dedup/grouping and become ``token#cluster`` strings only once per
+        distinct surviving key.
+        """
+        corpus = dataset.corpus
+        partitioning = self.partitioning
+        cluster_map = np.fromiter(
+            (
+                -1 if cluster is None else cluster
+                for cluster in (
+                    partitioning.cluster_of(source, name)
+                    for source, name in corpus.attributes
+                )
+            ),
+            dtype=np.int64,
+            count=len(corpus.attributes),
+        )
+        num_codes = np.int64(
+            max(partitioning.cluster_ids, default=0) + 1
+        )
+
+        clusters = (
+            cluster_map[corpus.attr_ids]
+            if corpus.attr_ids.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        floor = max(self.min_token_length, MIN_TOKEN_LENGTH)
+        mask = (clusters >= 0) & (
+            corpus.token_lengths[corpus.token_ids] >= floor
+        )
+        rows = corpus.occurrence_rows[mask]
+        toks = corpus.token_ids[mask].astype(np.int64)
+        clusters = clusters[mask]
+
+        if self.transformation == "token":
+            terms = corpus.dictionary
+            codes = toks * num_codes + clusters
+        else:
+            # Deduplicate (row, token, cluster) before the q-gram
+            # expansion so each distinct assignment expands once.
+            group_codes, starts, sizes, members = group_assignments(
+                rows, toks * num_codes + clusters
+            )
+            pair_codes = np.repeat(group_codes, sizes)
+            table = corpus.qgram_table(self.q)
+            rows, grams, positions = corpus.expand_tokens(
+                members, pair_codes // num_codes, table
+            )
+            terms = table[0]
+            codes = grams * num_codes + (pair_codes % num_codes)[positions]
+
+        return collection_from_assignments(
+            rows,
+            codes,
+            key_of=packed_key_of(terms.token_of, int(num_codes), KEY_SEPARATOR),
+            is_clean_clean=dataset.is_clean_clean,
+            offset2=corpus.offset2,
         )

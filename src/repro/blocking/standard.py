@@ -20,10 +20,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
+from repro.blocking._interned import collection_from_assignments, packed_key_of
 from repro.blocking.base import BlockCollection, build_blocks
 from repro.data.dataset import ERDataset
 from repro.data.profile import EntityProfile
-from repro.utils.tokenize import normalize, tokenize
+from repro.utils.tokenize import MIN_TOKEN_LENGTH, normalize, tokenize
 
 
 class StandardBlocking:
@@ -37,10 +40,18 @@ class StandardBlocking:
         attribute name to itself (or use :meth:`for_dirty`).
     key_mode:
         ``"value"`` or ``"token"`` (see module docstring).
+    interned:
+        ``"token"`` keys derive from the dataset's interned corpus by
+        default; ``"value"`` keys are whole normalized values, which the
+        token-level corpus cannot express, so that mode always takes the
+        string path.
     """
 
     def __init__(
-        self, alignment: Mapping[str, str], key_mode: str = "value"
+        self,
+        alignment: Mapping[str, str],
+        key_mode: str = "value",
+        interned: bool = True,
     ) -> None:
         if key_mode not in ("value", "token"):
             raise ValueError(f"unknown key_mode {key_mode!r}")
@@ -48,6 +59,7 @@ class StandardBlocking:
             raise ValueError("alignment must map at least one attribute")
         self.alignment = dict(alignment)
         self.key_mode = key_mode
+        self.interned = interned
 
     @classmethod
     def for_dirty(
@@ -58,6 +70,8 @@ class StandardBlocking:
 
     def build(self, dataset: ERDataset) -> BlockCollection:
         """Index *dataset* on the aligned attributes."""
+        if self.interned and self.key_mode == "token":
+            return self._build_interned(dataset)
         if dataset.is_clean_clean:
             keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
             for gidx, profile in dataset.iter_profiles():
@@ -75,6 +89,52 @@ class StandardBlocking:
             for key in self._keys_of(profile, 0):
                 keyed.setdefault(key, set()).add(gidx)
         return build_blocks(keyed, is_clean_clean=False)
+
+    def _build_interned(self, dataset: ERDataset) -> BlockCollection:
+        """Token-mode keys (``token@group``) from the interned corpus.
+
+        Groups are walked one by one (alignments are tiny) because two
+        alignment entries may legally share an attribute name, making the
+        attribute -> group relation a multimap.
+        """
+        corpus = dataset.corpus
+        lengths_ok = corpus.token_lengths[corpus.token_ids] >= MIN_TOKEN_LENGTH
+        groups = sorted(self.alignment.items())
+        num_groups = np.int64(len(groups))
+        row_chunks: list[np.ndarray] = []
+        code_chunks: list[np.ndarray] = []
+        for group, (attr1, attr2) in enumerate(groups):
+            wanted = {corpus.attr_id_of(0, attr1), corpus.attr_id_of(1, attr2)}
+            wanted.discard(None)
+            if not wanted:
+                continue
+            mask = np.isin(
+                corpus.attr_ids, np.fromiter(wanted, dtype=np.int32)
+            )
+            mask &= lengths_ok
+            row_chunks.append(corpus.occurrence_rows[mask])
+            code_chunks.append(
+                corpus.token_ids[mask].astype(np.int64) * num_groups + group
+            )
+        rows = (
+            np.concatenate(row_chunks)
+            if row_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        codes = (
+            np.concatenate(code_chunks)
+            if code_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        return collection_from_assignments(
+            rows,
+            codes,
+            key_of=packed_key_of(
+                corpus.dictionary.token_of, int(num_groups), "@"
+            ),
+            is_clean_clean=dataset.is_clean_clean,
+            offset2=corpus.offset2,
+        )
 
     def _keys_of(self, profile: EntityProfile, side: int) -> set[str]:
         keys: set[str] = set()

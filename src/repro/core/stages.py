@@ -192,8 +192,14 @@ class SchemaExtraction(BaseStage):
     name = "schema-extraction"
     phase = "schema"
 
-    def __init__(self, config: BlastConfig | None = None) -> None:
+    def __init__(
+        self, config: BlastConfig | None = None, interned: bool = True
+    ) -> None:
         self.config = config or BlastConfig()
+        #: Consume the dataset's shared InternedCorpus (default) or
+        #: re-tokenize per step — the string-era reference path the phase
+        #: benchmark compares against.
+        self.interned = interned
 
     def apply(self, context: PipelineContext) -> None:
         context.partitioning = self.extract(context.dataset)
@@ -207,19 +213,24 @@ class SchemaExtraction(BaseStage):
         from repro.schema.lmi import LooseAttributeMatchInduction
 
         config = self.config
+        corpus = dataset.corpus if self.interned else None
         if config.representation == "tfidf":
+            # TF-IDF vectors keep the Counter path: their cosine sums are
+            # order-sensitive, so reordering terms is not behavior-free.
             return extract_loose_schema_entropies(
                 self._extract_with_tfidf(dataset),
                 dataset.collection1,
                 dataset.collection2,
+                corpus=corpus,
             )
         profiles1 = build_attribute_profiles(
-            dataset.collection1, source=0, min_token_length=config.min_token_length
+            dataset.collection1, source=0,
+            min_token_length=config.min_token_length, corpus=corpus,
         )
         profiles2 = (
             build_attribute_profiles(
                 dataset.collection2, source=1,
-                min_token_length=config.min_token_length,
+                min_token_length=config.min_token_length, corpus=corpus,
             )
             if dataset.collection2 is not None
             else None
@@ -243,7 +254,7 @@ class SchemaExtraction(BaseStage):
             induction = AttributeClustering(glue_cluster=config.glue_cluster)
         partitioning = induction.induce(profiles1, profiles2, candidates)
         return extract_loose_schema_entropies(
-            partitioning, dataset.collection1, dataset.collection2
+            partitioning, dataset.collection1, dataset.collection2, corpus=corpus
         )
 
     def _extract_with_tfidf(self, dataset: ERDataset) -> AttributePartitioning:

@@ -1,8 +1,16 @@
 """Entity data model: profiles, collections, ground truth, ER datasets."""
 
 from repro.data.collection import EntityCollection
+from repro.data.corpus import InternedCorpus, TokenDictionary
 from repro.data.dataset import ERDataset
 from repro.data.ground_truth import GroundTruth
 from repro.data.profile import EntityProfile
 
-__all__ = ["EntityProfile", "EntityCollection", "GroundTruth", "ERDataset"]
+__all__ = [
+    "EntityProfile",
+    "EntityCollection",
+    "GroundTruth",
+    "ERDataset",
+    "InternedCorpus",
+    "TokenDictionary",
+]

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 from repro.data.collection import EntityCollection
 from repro.data.ground_truth import GroundTruth
 from repro.data.profile import EntityProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (corpus -> here)
+    from repro.data.corpus import InternedCorpus
 
 
 class ERDataset:
@@ -91,6 +95,18 @@ class ERDataset:
             n1 = len(self.collection1)
             for j, profile in enumerate(self.collection2):
                 yield n1 + j, profile
+
+    @cached_property
+    def corpus(self) -> "InternedCorpus":
+        """The interned columnar corpus of this dataset (built lazily, once).
+
+        One tokenization pass over every profile, shared by the blocking,
+        schema, graph-lowering and benchmark layers; see
+        :class:`repro.data.corpus.InternedCorpus`.
+        """
+        from repro.data.corpus import InternedCorpus
+
+        return InternedCorpus.build(self)
 
     @cached_property
     def truth_pairs(self) -> frozenset[tuple[int, int]]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 from repro.utils.tokenize import tokenize
 
@@ -29,6 +30,14 @@ class EntityProfile:
 
     profile_id: str
     attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    # Memoized token views (the profile is immutable, so the tokenization
+    # of its values never changes); excluded from eq/repr/hash.
+    _tokens: frozenset[str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _tokens_by_attribute: "MappingProxyType[str, frozenset[str]] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         cleaned = tuple(
@@ -69,22 +78,39 @@ class EntityProfile:
         """Iterate over ``(name, value)`` pairs in insertion order."""
         return iter(self.attributes)
 
-    def tokens(self) -> set[str]:
+    def tokens(self) -> frozenset[str]:
         """Every distinct token appearing anywhere in the profile's values.
 
         This is the token universe Token Blocking indexes the profile under.
+        Memoized — the regex runs once per profile, and the same frozenset
+        is returned on every call.
         """
-        out: set[str] = set()
-        for _, value in self.attributes:
-            out.update(tokenize(value))
-        return out
+        cached = self._tokens
+        if cached is None:
+            out: set[str] = set()
+            for _, value in self.attributes:
+                out.update(tokenize(value))
+            cached = frozenset(out)
+            object.__setattr__(self, "_tokens", cached)
+        return cached
 
-    def tokens_by_attribute(self) -> dict[str, set[str]]:
-        """Distinct tokens grouped by the attribute they appear in."""
-        out: dict[str, set[str]] = {}
-        for name, value in self.attributes:
-            out.setdefault(name, set()).update(tokenize(value))
-        return out
+    def tokens_by_attribute(self) -> "MappingProxyType[str, frozenset[str]]":
+        """Distinct tokens grouped by the attribute they appear in.
+
+        Memoized like :meth:`tokens`; the result is a read-only mapping of
+        frozensets (it is shared across calls, so mutation would otherwise
+        corrupt every later key derivation).
+        """
+        cached = self._tokens_by_attribute
+        if cached is None:
+            mutable: dict[str, set[str]] = {}
+            for name, value in self.attributes:
+                mutable.setdefault(name, set()).update(tokenize(value))
+            cached = MappingProxyType(
+                {name: frozenset(tokens) for name, tokens in mutable.items()}
+            )
+            object.__setattr__(self, "_tokens_by_attribute", cached)
+        return cached
 
     def text(self) -> str:
         """All values concatenated — the schema-blind view of the profile."""

@@ -113,6 +113,38 @@ class EntityIndex:
             node_block_counts=node_block_counts,
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        is_clean_clean: bool,
+        keys: tuple[str, ...],
+        block_ptr: np.ndarray,
+        block_split: np.ndarray,
+        entity_ids: np.ndarray,
+        block_comparisons: np.ndarray,
+    ) -> "EntityIndex":
+        """Build an index straight from pre-interned key/member arrays.
+
+        The interned blocking kernels (``repro.blocking._interned``) emit
+        exactly this layout, so the CSR lowering skips the
+        dict-of-strings/Block-object walk of :meth:`from_collection`.
+        Members of each block must already be sorted ascending per side.
+        """
+        node_block_counts = (
+            np.bincount(entity_ids)
+            if entity_ids.size
+            else np.zeros(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        return cls(
+            is_clean_clean=is_clean_clean,
+            keys=keys,
+            block_ptr=block_ptr.astype(np.int32, copy=False),
+            block_split=block_split.astype(np.int32, copy=False),
+            entity_ids=entity_ids.astype(np.int32, copy=False),
+            block_comparisons=block_comparisons.astype(np.int64, copy=False),
+            node_block_counts=node_block_counts,
+        )
+
     @property
     def num_blocks(self) -> int:
         return len(self.keys)

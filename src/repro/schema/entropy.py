@@ -6,6 +6,14 @@ The information content of an attribute is its Shannon entropy ``H(X) =
 from it.  A cluster of attributes carries the *aggregate entropy*
 ``H(C_k) = (1/|C_k|) * sum_{A_j in C_k} H(A_j)``, which the BLAST weighting
 function later applies as the multiplicative factor ``h(B_uv)``.
+
+Token frequencies come from the dataset's interned corpus when one is
+supplied — per-``(attribute, token)`` id counts from a single shared
+tokenization pass — and fall back to Counter-over-strings otherwise.  Both
+paths produce identical entropies: :func:`shannon_entropy` sums with
+``math.fsum``, which rounds exactly regardless of term order, so the
+id-sorted corpus counts and the insertion-ordered Counter agree bit for
+bit.
 """
 
 from __future__ import annotations
@@ -13,14 +21,22 @@ from __future__ import annotations
 import math
 from collections import Counter
 from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.data.collection import EntityCollection
 from repro.schema.partition import AttributePartitioning, AttributeRef
 from repro.utils.tokenize import tokenize
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.data.corpus import InternedCorpus
+
 
 def shannon_entropy(frequencies: Iterable[int]) -> float:
     """Entropy in bits of the distribution given by raw *frequencies*.
+
+    The term sum uses ``math.fsum`` (exactly rounded), so the result does
+    not depend on the order the frequencies arrive in — Counter order and
+    token-id order yield the same float.
 
     >>> shannon_entropy([1, 1])  # two equiprobable values
     1.0
@@ -31,24 +47,29 @@ def shannon_entropy(frequencies: Iterable[int]) -> float:
     total = sum(counts)
     if total == 0:
         return 0.0
-    entropy = 0.0
-    for count in counts:
-        p = count / total
-        entropy -= p * math.log2(p)
-    return entropy
+    return -math.fsum(
+        (count / total) * math.log2(count / total) for count in counts
+    )
 
 
 def attribute_entropies(
     collection: EntityCollection,
     source: int,
     min_token_length: int = 2,
+    corpus: "InternedCorpus | None" = None,
 ) -> dict[AttributeRef, float]:
     """Shannon entropy of every attribute of *collection*.
 
     Token occurrences are counted across all values of the attribute (with
     multiplicity — a token repeated in many records makes the attribute more
-    predictable, lowering its entropy).
+    predictable, lowering its entropy).  With a *corpus*, counting runs
+    over the interned ``(attribute, token)`` id arrays instead of
+    re-tokenizing the collection.
     """
+    if corpus is not None:
+        return _attribute_entropies_interned(
+            collection, source, min_token_length, corpus
+        )
     counters: dict[str, Counter[str]] = {}
     for profile in collection:
         for name, value in profile.iter_pairs():
@@ -58,6 +79,31 @@ def attribute_entropies(
     for name in collection.attribute_names:
         counter = counters.get(name, Counter())
         out[(source, name)] = shannon_entropy(counter.values())
+    return out
+
+
+def _attribute_entropies_interned(
+    collection: EntityCollection,
+    source: int,
+    min_token_length: int,
+    corpus: "InternedCorpus",
+) -> dict[AttributeRef, float]:
+    import numpy as np
+
+    attrs, _, counts = corpus.attribute_term_counts(source, min_token_length)
+    by_attr: dict[int, float] = {}
+    if attrs.size:
+        starts = np.flatnonzero(np.r_[True, attrs[1:] != attrs[:-1]])
+        ends = np.r_[starts[1:], attrs.size]
+        counts_list = counts.tolist()
+        for start, end, attr in zip(
+            starts.tolist(), ends.tolist(), attrs[starts].tolist()
+        ):
+            by_attr[attr] = shannon_entropy(counts_list[start:end])
+    out: dict[AttributeRef, float] = {}
+    for name in collection.attribute_names:
+        aid = corpus.attr_id_of(source, name)
+        out[(source, name)] = by_attr.get(aid, 0.0) if aid is not None else 0.0
     return out
 
 
@@ -84,12 +130,15 @@ def extract_loose_schema_entropies(
     partitioning: AttributePartitioning,
     collection1: EntityCollection,
     collection2: EntityCollection | None = None,
+    corpus: "InternedCorpus | None" = None,
 ) -> AttributePartitioning:
     """Attach aggregate entropies to *partitioning* (Phase 1, step 2).
 
     Returns a new partitioning; the input is unchanged.
     """
-    entropies = attribute_entropies(collection1, source=0)
+    entropies = attribute_entropies(collection1, source=0, corpus=corpus)
     if collection2 is not None:
-        entropies.update(attribute_entropies(collection2, source=1))
+        entropies.update(
+            attribute_entropies(collection2, source=1, corpus=corpus)
+        )
     return partitioning.with_entropies(aggregate_entropies(partitioning, entropies))

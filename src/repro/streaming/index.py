@@ -1,4 +1,4 @@
-"""The live block index: mutable token -> posting-list blocking.
+"""The live block index: mutable interned-key -> posting-list blocking.
 
 Batch BLAST indexes a frozen dataset once; this module keeps the same
 blocking structure *mutable*.  An :class:`IncrementalBlockIndex` maps every
@@ -6,6 +6,15 @@ blocking key (plain token, or attribute-cluster-disambiguated
 ``token#cluster`` when a loose schema is supplied) to a
 :class:`PostingList` of the live profiles containing it, and supports
 ``upsert``/``delete`` in time proportional to one profile's key set.
+
+Keys are *interned*: a :class:`~repro.data.corpus.TokenDictionary` maps
+each key string to a stable ``int32`` id on first sight, posting lists and
+per-node key sets are held in id space, and strings are materialized only
+at the public API boundary.  The dictionary grows incrementally — ids are
+never reused or dropped, even when a key's last live member disappears —
+and is serialized into session snapshots so posting-list identity survives
+a :meth:`~repro.streaming.session.StreamingSession.snapshot`/
+``restore`` round trip bit for bit.
 
 Consistency with the batch pipeline is by construction: keys are derived
 through :func:`repro.blocking.schema_aware.profile_blocking_keys` — the
@@ -27,6 +36,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.blocking.schema_aware import profile_blocking_keys, split_key
+from repro.data.corpus import TokenDictionary
 from repro.data.profile import EntityProfile
 from repro.schema.partition import AttributePartitioning
 
@@ -114,6 +124,10 @@ class IncrementalBlockIndex:
     purging_ratio / max_comparisons / filtering_ratio:
         Block Purging and Block Filtering parameters.  They are *stored*
         here but applied lazily by the query-time views, never on mutation.
+    key_dictionary:
+        Pre-seeded key interning (a snapshot restore passes the serialized
+        dictionary here so key ids survive the round trip).  A fresh
+        dictionary is created when omitted.
     """
 
     def __init__(
@@ -127,6 +141,7 @@ class IncrementalBlockIndex:
         purging_ratio: float = 0.5,
         max_comparisons: int | None = None,
         filtering_ratio: float = 0.8,
+        key_dictionary: TokenDictionary | None = None,
     ) -> None:
         if not 0.0 < purging_ratio <= 1.0:
             raise ValueError(f"purging_ratio must be in (0, 1], got {purging_ratio}")
@@ -135,6 +150,9 @@ class IncrementalBlockIndex:
                 f"filtering_ratio must be in (0, 1], got {filtering_ratio}"
             )
         self.clean_clean = clean_clean
+        # key id -> h, lazy; created before the partitioning setter runs,
+        # which clears it on every schema (re)assignment.
+        self._entropies: dict[int, float] = {}
         self.partitioning = partitioning
         self.min_token_length = min_token_length
         self.transformation = transformation
@@ -143,16 +161,30 @@ class IncrementalBlockIndex:
         self.max_comparisons = max_comparisons
         self.filtering_ratio = filtering_ratio
 
-        self._postings: dict[str, PostingList] = {}
+        self.key_dictionary = key_dictionary or TokenDictionary()
+        self._postings: dict[int, PostingList] = {}  # key id -> posting
         self._ids: dict[tuple[int, str], int] = {}  # stable, never removed
         self._profiles: dict[int, EntityProfile] = {}  # live nodes only
         self._sources: dict[int, int] = {}
-        self._keys: dict[int, frozenset[str]] = {}
+        self._keys: dict[int, frozenset[int]] = {}  # node -> key ids
         self._next_id = 0
         self._version = 0
         self._total_assignments = 0  # sum over live nodes of |keys|
 
     # -- introspection -------------------------------------------------------
+
+    @property
+    def partitioning(self) -> AttributePartitioning | None:
+        """The loose schema keys are disambiguated and weighted against."""
+        return self._partitioning
+
+    @partitioning.setter
+    def partitioning(self, value: AttributePartitioning | None) -> None:
+        # Swapping the schema invalidates every cached per-key entropy;
+        # without this, keys queried before the swap would keep entropies
+        # from the previous partitioning generation.
+        self._partitioning = value
+        self._entropies.clear()
 
     @property
     def version(self) -> int:
@@ -178,15 +210,32 @@ class IncrementalBlockIndex:
         return len(self._profiles)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._postings
+        kid = self.key_dictionary.get(key) if isinstance(key, str) else None
+        return kid is not None and kid in self._postings
 
     def posting(self, key: str) -> PostingList:
         """The posting list of *key* (KeyError when no live member has it)."""
-        return self._postings[key]
+        kid = self.key_dictionary.get(key)
+        if kid is None or kid not in self._postings:
+            raise KeyError(key)
+        return self._postings[kid]
+
+    def posting_by_id(self, kid: int) -> PostingList:
+        """The posting list of an interned key id (KeyError when dead)."""
+        return self._postings[kid]
 
     def keys(self) -> Iterator[str]:
         """Iterate over the live blocking keys (arbitrary order)."""
+        token_of = self.key_dictionary.token_of
+        return (token_of(kid) for kid in self._postings)
+
+    def key_ids(self) -> Iterator[int]:
+        """Iterate over the live interned key ids (arbitrary order)."""
         return iter(self._postings)
+
+    def key_string(self, kid: int) -> str:
+        """The key string an interned id stands for (live or not)."""
+        return self.key_dictionary.token_of(kid)
 
     def live_nodes(self) -> list[int]:
         """All live node ids, ascending (== arrival order of first upsert)."""
@@ -208,7 +257,12 @@ class IncrementalBlockIndex:
         return self._sources[node]
 
     def keys_of(self, node: int) -> frozenset[str]:
-        """The blocking keys of a live node."""
+        """The blocking keys of a live node, as strings."""
+        token_of = self.key_dictionary.token_of
+        return frozenset(token_of(kid) for kid in self._keys[node])
+
+    def key_ids_of(self, node: int) -> frozenset[int]:
+        """The interned blocking-key ids of a live node."""
         return self._keys[node]
 
     def node_block_count(self, node: int) -> int:
@@ -219,8 +273,22 @@ class IncrementalBlockIndex:
         """Aggregate entropy of *key*'s attribute cluster (1.0 without schema)."""
         if self.partitioning is None:
             return 1.0
+        kid = self.key_dictionary.get(key)
+        if kid is not None:
+            return self.key_entropy_by_id(kid)
         _, cluster = split_key(key)
         return self.partitioning.entropy_of(cluster)
+
+    def key_entropy_by_id(self, kid: int) -> float:
+        """:meth:`key_entropy` for an interned key id (cached per id)."""
+        if self.partitioning is None:
+            return 1.0
+        entropy = self._entropies.get(kid)
+        if entropy is None:
+            _, cluster = split_key(self.key_dictionary.token_of(kid))
+            entropy = self.partitioning.entropy_of(cluster)
+            self._entropies[kid] = entropy
+        return entropy
 
     def derive_keys(self, profile: EntityProfile, source: int = 0) -> set[str]:
         """The blocking keys *profile* would be indexed under."""
@@ -258,15 +326,21 @@ class IncrementalBlockIndex:
             self._next_id += 1
             self._ids[ref] = node
 
-        new_keys = frozenset(self.derive_keys(profile, source))
+        # Interning in sorted key order keeps id assignment deterministic
+        # (set iteration order is not) — fresh ids depend only on the
+        # sequence of profiles, never on string hashing.
+        intern = self.key_dictionary.intern
+        new_keys = frozenset(
+            intern(key) for key in sorted(self.derive_keys(profile, source))
+        )
         old_keys = self._keys.get(node, frozenset())
-        for key in old_keys - new_keys:
-            self._remove_membership(key, node, source)
-        for key in new_keys - old_keys:
-            posting = self._postings.get(key)
+        for kid in old_keys - new_keys:
+            self._remove_membership(kid, node, source)
+        for kid in new_keys - old_keys:
+            posting = self._postings.get(kid)
             if posting is None:
                 posting = PostingList(self.clean_clean)
-                self._postings[key] = posting
+                self._postings[kid] = posting
             posting.add(node, source)
 
         self._profiles[node] = profile
@@ -279,15 +353,16 @@ class IncrementalBlockIndex:
     def delete(self, profile_id: str, source: int = 0) -> bool:
         """Remove a live profile; returns whether anything was deleted.
 
-        The ``(source, profile_id) -> node`` mapping is kept, so a later
-        re-upsert revives the same node id.
+        The ``(source, profile_id) -> node`` mapping (and every interned
+        key id) is kept, so a later re-upsert revives the same node id and
+        the same posting-list keys.
         """
         self._check_source(source)
         node = self._ids.get((source, str(profile_id)))
         if node is None or node not in self._profiles:
             return False
-        for key in self._keys[node]:
-            self._remove_membership(key, node, source)
+        for kid in self._keys[node]:
+            self._remove_membership(kid, node, source)
         self._total_assignments -= len(self._keys[node])
         del self._profiles[node]
         del self._sources[node]
@@ -295,13 +370,13 @@ class IncrementalBlockIndex:
         self._version += 1
         return True
 
-    def _remove_membership(self, key: str, node: int, source: int) -> None:
-        posting = self._postings.get(key)
+    def _remove_membership(self, kid: int, node: int, source: int) -> None:
+        posting = self._postings.get(kid)
         if posting is None:
             return
         posting.discard(node, source)
         if posting.size == 0:
-            del self._postings[key]
+            del self._postings[kid]
 
     def __repr__(self) -> str:
         kind = "clean-clean" if self.clean_clean else "dirty"

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.config import BlastConfig
+from repro.data.corpus import TokenDictionary
 from repro.data.dataset import ERDataset
 from repro.data.io import iter_json_records, open_text, profile_from_record
 from repro.data.profile import EntityProfile
@@ -281,6 +282,10 @@ class StreamingSession:
                 "pruning": _pruning_to_payload(self.metablocker.pruning),
             },
             "default_k": self.default_k,
+            # The interned key dictionary, in id order: restore pre-seeds
+            # it so posting-list key ids survive the round trip even
+            # through upsert -> delete -> upsert histories.
+            "dictionary": index.key_dictionary.to_payload(),
             "partitioning": (
                 index.partitioning.to_dict()
                 if index.partitioning is not None
@@ -343,6 +348,9 @@ class StreamingSession:
             purging_ratio=index_cfg["purging_ratio"],
             max_comparisons=index_cfg["max_comparisons"],
             filtering_ratio=index_cfg["filtering_ratio"],
+            key_dictionary=TokenDictionary.from_payload(
+                payload.get("dictionary") or ()
+            ),
         )
         session.metablocker = StreamingMetaBlocker(
             session.index,

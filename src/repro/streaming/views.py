@@ -131,19 +131,22 @@ class ExactStreamView:
         gidx = {node: position for position, node in enumerate(live)}
         self._canonical = gidx  # index node id -> canonical id
 
+        key_string = index.key_string
         if index.clean_clean:
             keyed_cc: dict[str, tuple[set[int], set[int]]] = {}
-            for key in index.keys():
-                posting = index.posting(key)
-                keyed_cc[key] = (
+            for kid in index.key_ids():
+                posting = index.posting_by_id(kid)
+                keyed_cc[key_string(kid)] = (
                     {gidx[n] for n in posting.left},
                     {gidx[n] for n in posting.right or ()},
                 )
             collection = build_blocks(keyed_cc, is_clean_clean=True)
         else:
             keyed: dict[str, set[int]] = {}
-            for key in index.keys():
-                keyed[key] = {gidx[n] for n in index.posting(key).left}
+            for kid in index.key_ids():
+                keyed[key_string(kid)] = {
+                    gidx[n] for n in index.posting_by_id(kid).left
+                }
             collection = build_blocks(keyed, is_clean_clean=False)
 
         if len(collection) and index.num_profiles:
@@ -300,11 +303,22 @@ class FastStreamView:
     def surviving_keys(self, node: int) -> list[str]:
         """The query node's keys after lazy purging + query-side filtering."""
         index = self.index
+        return [index.key_string(kid) for kid in self._surviving_key_ids(node)]
+
+    def _surviving_key_ids(self, node: int) -> list[int]:
+        """Interned-id form of :meth:`surviving_keys` (same order).
+
+        Filtering ties on equal posting sizes break by key *string* — the
+        batch position order of key-sorted collections — so the sort key
+        materializes the string while the result stays in id space.
+        """
+        index = self.index
         size_cap = index.purging_ratio * index.num_profiles
         max_comparisons = index.max_comparisons
-        active: list[tuple[int, str]] = []
-        for key in index.keys_of(node):
-            posting = index.posting(key)
+        key_string = index.key_string
+        active: list[tuple[int, str, int]] = []
+        for kid in index.key_ids_of(node):
+            posting = index.posting_by_id(kid)
             if posting.num_comparisons == 0:
                 continue
             if posting.size > size_cap:
@@ -314,24 +328,24 @@ class FastStreamView:
                 and posting.num_comparisons > max_comparisons
             ):
                 continue
-            active.append((posting.size, key))
+            active.append((posting.size, key_string(kid), kid))
         if not active:
             return []
         active.sort()
         keep = ceil(index.filtering_ratio * len(active))
-        return [key for _, key in active[:keep]]
+        return [kid for _, _, kid in active[:keep]]
 
     def gather(self, canonical: int) -> NeighborStats:
         index = self.index
-        keys = self.surviving_keys(canonical)
-        if not keys:
+        key_ids = self._surviving_key_ids(canonical)
+        if not key_ids:
             return _EMPTY_STATS
         source = index.source_of(canonical)
         member_chunks: list[np.ndarray] = []
         arcs_chunks: list[np.ndarray] = []
         entropy_chunks: list[np.ndarray] = []
-        for key in keys:
-            posting = index.posting(key)
+        for kid in key_ids:
+            posting = index.posting_by_id(kid)
             left, right = posting.arrays()
             if index.clean_clean:
                 others = right if source == 0 else left
@@ -344,7 +358,7 @@ class FastStreamView:
                 np.full(others.size, 1.0 / posting.num_comparisons)
             )
             entropy_chunks.append(
-                np.full(others.size, index.key_entropy(key))
+                np.full(others.size, index.key_entropy_by_id(kid))
             )
         if not member_chunks:
             return _EMPTY_STATS

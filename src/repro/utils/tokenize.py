@@ -10,6 +10,7 @@ that case and punctuation differences never split a block.
 from __future__ import annotations
 
 import re
+import unicodedata
 from collections.abc import Iterable, Iterator
 
 _TOKEN_RE = re.compile(r"[\W_]+", re.UNICODE)
@@ -20,12 +21,20 @@ MIN_TOKEN_LENGTH = 2
 
 
 def normalize(value: str) -> str:
-    """Lower-case *value* and collapse non-alphanumeric runs to single spaces.
+    """NFKC-fold, lower-case, and collapse non-alphanumeric runs to spaces.
+
+    Unicode NFKC compatibility normalization runs *before* casefolding so
+    visually-identical spellings — full-width digits, ligatures, circled
+    letters — land on the same blocking key instead of splitting a block.
 
     >>> normalize("Abram St. 30, NY ")
     'abram st 30 ny'
+    >>> normalize("３０ Abram")  # full-width "30"
+    '30 abram'
     """
-    return _TOKEN_RE.sub(" ", value.casefold()).strip()
+    return _TOKEN_RE.sub(
+        " ", unicodedata.normalize("NFKC", value).casefold()
+    ).strip()
 
 
 def tokenize(value: str, min_length: int = MIN_TOKEN_LENGTH) -> list[str]:

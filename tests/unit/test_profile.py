@@ -70,3 +70,32 @@ class TestTokenViews:
         p = EntityProfile("p1", ())
         assert p.tokens() == set()
         assert p.text() == ""
+
+    def test_tokens_memoized(self):
+        p = EntityProfile.from_dict("p1", {"name": "John Abram"})
+        first = p.tokens()
+        assert p.tokens() is first  # same object, no re-tokenization
+
+    def test_tokens_by_attribute_memoized(self):
+        p = EntityProfile.from_dict("p1", {"name": "John Abram"})
+        first = p.tokens_by_attribute()
+        assert p.tokens_by_attribute() is first
+
+    def test_token_views_are_read_only(self):
+        import pytest
+
+        p = EntityProfile.from_dict("p1", {"name": "John Abram"})
+        with pytest.raises(AttributeError):
+            p.tokens().add("extra")  # frozenset
+        by_attr = p.tokens_by_attribute()
+        with pytest.raises(TypeError):
+            by_attr["name"] = frozenset()  # mapping proxy
+        with pytest.raises(AttributeError):
+            by_attr["name"].add("extra")  # frozenset values
+
+    def test_memo_fields_do_not_affect_equality_or_hash(self):
+        a = EntityProfile.from_dict("p1", {"name": "John"})
+        b = EntityProfile.from_dict("p1", {"name": "John"})
+        a.tokens()  # populate only a's cache
+        assert a == b
+        assert hash(a) == hash(b)

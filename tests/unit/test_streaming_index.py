@@ -153,6 +153,18 @@ class TestSchemaAwareKeys:
         assert index.keys_of(node) == frozenset({"abram#1"})
         assert index.key_entropy("abram#1") == 1.5
 
+    def test_entropy_cache_invalidated_on_partitioning_swap(self):
+        partitioning = AttributePartitioning(
+            clusters=[[(0, "name")]], glue=[], entropies={1: 1.5}
+        )
+        index = IncrementalBlockIndex(partitioning=partitioning)
+        index.upsert(profile("a", "abram"))
+        assert index.key_entropy("abram#1") == 1.5  # populates the cache
+        index.partitioning = AttributePartitioning(
+            clusters=[[(0, "name")]], glue=[], entropies={1: 2.5}
+        )
+        assert index.key_entropy("abram#1") == 2.5
+
     def test_unclustered_attribute_falls_into_glue(self):
         partitioning = AttributePartitioning(
             clusters=[[(0, "name")]], glue=[]

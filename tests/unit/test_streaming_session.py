@@ -193,6 +193,78 @@ class TestSnapshot:
             StreamingSession.restore(path)
 
 
+class TestDictionaryRoundTrip:
+    """The snapshot must round-trip the interned key dictionary."""
+
+    def test_gzip_round_trip_preserves_key_ids_across_churn(self, tmp_path):
+        session = StreamingSession()
+        session.upsert(profile("a", "john abram"))
+        session.upsert(profile("b", "ellen smith"))
+        session.upsert(profile("c", "john smith"))
+        # Churn: ids interned for "a"'s keys must survive its absence.
+        session.delete("a")
+        session.upsert(profile("a", "john abram"))
+
+        path = tmp_path / "snap.json.gz"
+        session.snapshot(path)
+        restored = StreamingSession.restore(path)
+
+        original = session.index.key_dictionary
+        roundtripped = restored.index.key_dictionary
+        assert roundtripped.to_payload() == original.to_payload()
+        for key in original:
+            assert roundtripped.id_of(key) == original.id_of(key)
+        # Live postings are keyed by the same interned ids.
+        assert set(restored.index.key_ids()) == set(session.index.key_ids())
+
+    def test_dictionary_keeps_ids_of_fully_deleted_keys(self, tmp_path):
+        session = StreamingSession()
+        session.upsert(profile("a", "unique token"))
+        before = dict(
+            (key, session.index.key_dictionary.id_of(key))
+            for key in session.index.key_dictionary
+        )
+        session.delete("a")  # no live member keeps these keys alive
+        path = tmp_path / "snap.json.gz"
+        session.snapshot(path)
+        restored = StreamingSession.restore(path)
+        for key, kid in before.items():
+            assert restored.index.key_dictionary.id_of(key) == kid
+        # A re-upsert after restore revives the very same ids.
+        restored.upsert(profile("a", "unique token"))
+        assert restored.index.key_ids_of(
+            restored.index.node_of("a")
+        ) == frozenset(before.values())
+
+    def test_snapshot_payload_carries_dictionary(self, tmp_path):
+        import gzip
+
+        session = StreamingSession()
+        session.upsert(profile("a", "john abram"))
+        path = tmp_path / "snap.json.gz"
+        session.snapshot(path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["dictionary"] == session.index.key_dictionary.to_payload()
+
+    def test_restore_without_dictionary_field_still_works(self, tmp_path):
+        # Pre-interning snapshots carry no dictionary; restore re-interns.
+        import gzip
+
+        session = StreamingSession()
+        session.upsert(profile("a", "john abram"))
+        session.upsert(profile("b", "john smith"))
+        path = tmp_path / "snap.json.gz"
+        session.snapshot(path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        del payload["dictionary"]
+        legacy_path = tmp_path / "legacy.json"
+        legacy_path.write_text(json.dumps(payload), encoding="utf-8")
+        restored = StreamingSession.restore(legacy_path)
+        assert restored.candidates("a") == session.candidates("a")
+
+
 class TestStreamingStage:
     def test_pipeline_equivalent_to_batch_blast(self):
         dataset = load_clean_clean("ar1", scale=0.05)

@@ -27,6 +27,25 @@ class TestNormalize:
     def test_unicode_casefold(self):
         assert normalize("STRASSE") == normalize("strasse")
 
+    def test_nfkc_fullwidth_digits(self):
+        # Full-width digits are visually identical to ASCII digits and
+        # must land in the same block.
+        assert normalize("３０") == "30"
+        assert normalize("Abram ３０") == normalize("Abram 30")
+
+    def test_nfkc_ligatures(self):
+        assert normalize("ﬁle") == "file"
+        assert normalize("oﬃce") == normalize("office")
+
+    def test_nfkc_compatibility_forms(self):
+        assert normalize("Ⅳ") == normalize("iv")  # Roman numeral sign
+        assert normalize("ｅｌｌｅｎ") == "ellen"  # full-width letters
+
+    def test_nfkc_runs_before_casefold(self):
+        # The full-width capital A only reaches 'a' if NFKC maps it to
+        # ASCII 'A' first and casefold then lowers it.
+        assert normalize("Ａ１") == "a1"
+
 
 class TestTokenize:
     def test_basic_split(self):
@@ -69,8 +88,19 @@ class TestQgrams:
         assert qgrams("", q=3) == []
 
     def test_invalid_q_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="q must be positive"):
             qgrams("abc", q=0)
+
+    def test_negative_q_raises(self):
+        with pytest.raises(ValueError, match="q must be positive"):
+            qgrams("abc", q=-3)
+
+    def test_q_one_yields_characters(self):
+        assert qgrams("abc", q=1) == ["a", "b", "c"]
+
+    def test_tokenize_applies_nfkc(self):
+        # Regression: visually-identical tokens intern to one blocking key.
+        assert tokenize("Abram ３０") == tokenize("abram 30")
 
     def test_exact_length_value(self):
         assert qgrams("abc", q=3) == ["abc"]
