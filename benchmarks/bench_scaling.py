@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Scaling benchmark: python vs vectorized meta-blocking backends.
+"""Scaling benchmark: python vs vectorized vs parallel meta-blocking.
 
 Builds a synthetic clean-clean workload (~10k profiles by default),
 prepares the blocking-graph input once (token blocking -> purging ->
 filtering), then times the full meta-blocking hot path — graph
-materialization, edge weighting, pruning, block rebuild — under both
+materialization, edge weighting, pruning, block rebuild — under the
 registered backends and verifies they retain the identical edge set.
+
+A dedicated section times the sharded ``parallel`` backend against the
+serial vectorized baseline (same workload, CHI_H weighting) across
+worker counts, plus the ``workers=1`` chunked low-memory mode, and
+records the serial-vs-parallel speedup.
 
 A second section times the full *tokenize -> schema -> block ->
 meta-block* pipeline twice — once through the string-era per-layer
@@ -65,6 +70,7 @@ def time_backend(
     blocks: BlockCollection,
     scheme: WeightingScheme,
     repeats: int,
+    backend_options: dict | None = None,
 ) -> tuple[float, BlockCollection]:
     """Best-of-*repeats* wall-clock seconds for one full meta-blocking run."""
     best = float("inf")
@@ -76,12 +82,86 @@ def time_backend(
         # from scratch each time.
         blocks.__dict__.pop("entity_index", None)
         meta = MetaBlocker(
-            weighting=scheme, pruning=BlastPruning(), backend=backend
+            weighting=scheme,
+            pruning=BlastPruning(),
+            backend=backend,
+            backend_options=dict(backend_options or {}),
         )
         start = time.perf_counter()
         out = meta.run(blocks)
         best = min(best, time.perf_counter() - start)
     return best, out
+
+
+def run_parallel_scaling(
+    args: argparse.Namespace, blocks: BlockCollection
+) -> dict:
+    """Serial-vectorized vs sharded-parallel, across worker counts."""
+    import os
+
+    scheme = WeightingScheme.CHI_H
+    serial_seconds, serial_out = time_backend(
+        "vectorized", blocks, scheme, args.repeats
+    )
+    serial_pairs = serial_out.distinct_pairs()
+    max_workers = (
+        args.workers if args.workers is not None else os.cpu_count() or 1
+    )
+    worker_counts = sorted({1, 2, 4, max_workers} & set(range(1, max_workers + 1)))
+
+    print(
+        f"parallel backend scaling (chi_h, serial vectorized "
+        f"{serial_seconds:.3f}s baseline) ..."
+    )
+    runs = []
+    for workers in worker_counts:
+        seconds, out = time_backend(
+            "parallel", blocks, scheme, args.repeats,
+            backend_options={"workers": workers},
+        )
+        equivalent = out.distinct_pairs() == serial_pairs
+        speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 6),
+                "speedup_vs_vectorized": round(speedup, 2),
+                "equivalent": equivalent,
+            }
+        )
+        print(
+            f"  workers={workers:>2}: {seconds:8.3f}s | {speedup:5.2f}x | "
+            f"{'OK' if equivalent else 'MISMATCH'}"
+        )
+
+    # The chunked low-memory mode: sequential shards, capped pair arrays.
+    chunk_cap = max(10_000, blocks.count_distinct_pairs() // 8)
+    chunked_seconds, chunked_out = time_backend(
+        "parallel", blocks, scheme, args.repeats,
+        backend_options={"workers": 1, "shard_size": chunk_cap},
+    )
+    chunked_equivalent = chunked_out.distinct_pairs() == serial_pairs
+    print(
+        f"  chunked (workers=1, shard_size={chunk_cap}): "
+        f"{chunked_seconds:8.3f}s | "
+        f"{'OK' if chunked_equivalent else 'MISMATCH'}"
+    )
+    best = max(runs, key=lambda r: r["speedup_vs_vectorized"])
+    return {
+        "scheme": scheme.value,
+        "pruning": "blast",
+        "vectorized_seconds": round(serial_seconds, 6),
+        "runs": runs,
+        "chunked": {
+            "shard_size": chunk_cap,
+            "seconds": round(chunked_seconds, 6),
+            "equivalent": chunked_equivalent,
+        },
+        "best_speedup": best["speedup_vs_vectorized"],
+        "best_workers": best["workers"],
+        "all_equivalent": chunked_equivalent
+        and all(r["equivalent"] for r in runs),
+    }
 
 
 def time_pipeline_phases(
@@ -220,6 +300,7 @@ def run(args: argparse.Namespace) -> dict:
             f"{'OK' if equivalent else 'MISMATCH'}"
         )
 
+    parallel = run_parallel_scaling(args, blocks)
     breakdown = run_phase_breakdown(args, profiles)
 
     speedups = [r["speedup"] for r in runs]
@@ -235,10 +316,12 @@ def run(args: argparse.Namespace) -> dict:
         "seed": args.seed,
         "backends": list(BACKENDS.names()),
         "runs": runs,
+        "parallel_scaling": parallel,
         "phase_breakdown": breakdown,
         "speedup_min": min(speedups),
         "speedup_max": max(speedups),
         "all_equivalent": all(r["equivalent"] for r in runs)
+        and parallel["all_equivalent"]
         and breakdown["equivalent"],
     }
     return report
@@ -254,6 +337,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated weighting schemes to time")
     parser.add_argument("--repeats", type=int, default=2,
                         help="repetitions per backend; best time wins")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="max worker count of the parallel-scaling "
+                             "section (default: the machine's cpu count)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_metablocking.json",
@@ -263,7 +349,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-phase-speedup", type=float, default=None,
                         help="exit non-zero if the interned corpus speeds "
                              "up tokenize+schema+blocking less than this")
+    parser.add_argument("--min-parallel-speedup", type=float, default=None,
+                        help="exit non-zero if the best parallel-backend "
+                             "speedup over serial vectorized is below this")
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be positive, got {args.workers}")
 
     report = run(args)
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -284,6 +375,14 @@ def main(argv: list[str] | None = None) -> int:
     ):
         print(f"error: phase speedup {phase_speedup}x below the "
               f"{args.min_phase_speedup}x floor", file=sys.stderr)
+        return 1
+    parallel_speedup = report["parallel_scaling"]["best_speedup"]
+    if (
+        args.min_parallel_speedup is not None
+        and parallel_speedup < args.min_parallel_speedup
+    ):
+        print(f"error: parallel speedup {parallel_speedup}x below the "
+              f"{args.min_parallel_speedup}x floor", file=sys.stderr)
         return 1
     return 0
 

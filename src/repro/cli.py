@@ -175,8 +175,18 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=BACKENDS.names(),
                         default="vectorized",
                         help="meta-blocking execution backend: the numpy "
-                             "array path or the pure-python reference "
-                             "(default: %(default)s)")
+                             "array path, the sharded multi-process "
+                             "'parallel' engine, or the pure-python "
+                             "reference (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes of the parallel backend "
+                             "(default: the machine's cpu count; 1 runs "
+                             "the shards sequentially in-process)")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="cap on comparisons per shard of the parallel "
+                             "backend (strict, except a single entity "
+                             "owning more); bounds peak per-shard memory "
+                             "(default: one balanced shard per worker)")
     parser.add_argument("--induction", choices=("lmi", "ac"), default="lmi")
     parser.add_argument("--alpha", type=float, default=0.9)
     parser.add_argument("--use-lsh", action="store_true")
@@ -209,6 +219,8 @@ def _config_from(args: argparse.Namespace) -> BlastConfig:
         pruning_c=args.pruning_c,
         pruning_d=args.pruning_d,
         backend=args.backend,
+        workers=args.workers,
+        shard_size=args.shard_size,
         seed=args.seed,
     )
 

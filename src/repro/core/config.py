@@ -6,6 +6,11 @@ from dataclasses import dataclass
 
 from repro.graph.weights import WeightingScheme
 
+#: Built-in backends that run serially and take no execution knobs;
+#: ``workers``/``shard_size`` are rejected for these (and forwarded to
+#: every other backend via :meth:`BlastConfig.backend_options`).
+_SERIAL_BACKENDS = frozenset({"python", "vectorized"})
+
 
 @dataclass(frozen=True)
 class BlastConfig:
@@ -59,10 +64,24 @@ class BlastConfig:
         ``theta_ij = (theta_i + theta_j) / d``.
     backend:
         Meta-blocking execution backend: ``"vectorized"`` (array-backed
-        numpy hot path, the default) or ``"python"`` (the pure-Python
+        numpy hot path, the default), ``"parallel"`` (the same arrays
+        sharded across worker processes) or ``"python"`` (the pure-Python
         reference) — any name registered in
-        ``repro.core.registry.BACKENDS``.  Both built-ins produce the
+        ``repro.core.registry.BACKENDS``.  All built-ins produce the
         identical retained edge set.
+    workers:
+        Worker processes of the ``parallel`` backend; ``None`` (the
+        default) uses the machine's cpu count, ``1`` runs the shards
+        sequentially in-process.  Rejected with the serial built-ins
+        (where it would be silently meaningless); forwarded to custom
+        registered backends.
+    shard_size:
+        Cap on the comparisons enumerated per shard of the ``parallel``
+        backend (the chunked low-memory knob — peak per-shard edge-array
+        bytes scale with it; only a single entity owning more than the
+        cap may exceed it); ``None`` splits into one balanced shard per
+        worker.  Rejected with the serial built-ins, forwarded to custom
+        backends.
     seed:
         Seed for the LSH hash functions.
 
@@ -97,6 +116,8 @@ class BlastConfig:
     pruning_c: float = 2.0
     pruning_d: float = 2.0
     backend: str = "vectorized"
+    workers: int | None = None
+    shard_size: int | None = None
     seed: int | None = None
     # Streaming
     stream_consistency: str = "exact"
@@ -157,6 +178,28 @@ class BlastConfig:
             raise ValueError(
                 f"backend must be a non-empty registry name, got {self.backend!r}"
             )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(
+                f"workers must be positive or None, got {self.workers}"
+            )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be positive or None, got {self.shard_size}"
+            )
+        # Refuse, rather than silently ignore, execution knobs the chosen
+        # backend will never see — `--workers 8` without `--backend
+        # parallel` must not quietly run serial.  Only the known serial
+        # built-ins are rejected: a custom registered backend receives the
+        # knobs through backend_options() and may accept them (or fail
+        # loudly with a TypeError of its own).
+        if self.backend in _SERIAL_BACKENDS and (
+            self.workers is not None or self.shard_size is not None
+        ):
+            raise ValueError(
+                f"workers/shard_size do not apply to the serial "
+                f"{self.backend!r} backend; use backend='parallel' "
+                f"(got workers={self.workers}, shard_size={self.shard_size})"
+            )
         # Same deal for stream view names (STREAM_VIEWS registry).
         if not self.stream_consistency or not isinstance(
             self.stream_consistency, str
@@ -170,3 +213,22 @@ class BlastConfig:
                 f"stream_query_k must be positive or None, "
                 f"got {self.stream_query_k}"
             )
+
+    def backend_options(self) -> dict[str, object]:
+        """Keyword arguments forwarded to the selected backend callable.
+
+        The serial built-ins receive no extras (their signatures stay the
+        plain backend protocol; set knobs are rejected at construction);
+        ``parallel`` — and any custom registered backend — receives the
+        ``workers``/``shard_size`` knobs that were set.  ``None`` values
+        are omitted so backend-side defaults (cpu count, balanced shards)
+        apply.
+        """
+        if self.backend in _SERIAL_BACKENDS:
+            return {}
+        options: dict[str, object] = {}
+        if self.workers is not None:
+            options["workers"] = self.workers
+        if self.shard_size is not None:
+            options["shard_size"] = self.shard_size
+        return options

@@ -105,6 +105,7 @@ class Blast:
             entropy_boost=config.entropy_boost,
             key_entropy=make_key_entropy(partitioning) if config.use_entropy else None,
             backend=config.backend,
+            backend_options=config.backend_options(),
         )
         return meta.run(blocks)
 

@@ -18,9 +18,10 @@ flag set configures whichever component is selected:
   collection (token, schema-aware, qgrams, suffix-array, canopy);
 * ``WEIGHTINGS`` — ``name -> WeightingScheme | (graph) -> weights``;
 * ``PRUNERS``    — ``name -> (config) -> PruningScheme``;
-* ``BACKENDS``   — meta-blocking execution backends (``python`` reference
-  vs the array-backed ``vectorized`` default; see DESIGN.md "Backends &
-  performance");
+* ``BACKENDS``   — meta-blocking execution backends (``python`` reference,
+  the array-backed ``vectorized`` default, and the sharded multi-process
+  ``parallel``; see DESIGN.md "Backends & performance" and "Parallel
+  execution & sharding");
 * ``STREAM_VIEWS`` — query-time views of the streaming subsystem
   (``exact`` batch-faithful vs ``fast`` incremental; see DESIGN.md
   "Streaming & serving").
@@ -56,6 +57,7 @@ from repro.graph.pruning import (
     WeightEdgePruning,
     WeightNodePruning,
 )
+from repro.graph.parallel import parallel_metablocking
 from repro.graph.vectorized import vectorized_metablocking
 from repro.graph.weights import WeightingScheme
 
@@ -202,6 +204,7 @@ for _scheme in WeightingScheme:
 
 BACKENDS.register("python", reference_metablocking)
 BACKENDS.register("vectorized", vectorized_metablocking)
+BACKENDS.register("parallel", parallel_metablocking)
 
 
 # --- built-in stream views --------------------------------------------------
@@ -310,6 +313,7 @@ def build_pipeline(
             entropy_boost=config.entropy_boost,
             use_entropy=config.use_entropy,
             backend=config.backend,
+            backend_options=config.backend_options(),
         )
     )
     return Pipeline(stages)

@@ -393,10 +393,15 @@ class MetaBlockingStage(BaseStage):
         Requires ``context.partitioning``; with ``False`` (the ``chi``
         ablation) or a partitioning-free pipeline, every key counts 1.0.
     backend:
-        Execution backend name (``"vectorized"`` default, ``"python"``
-        reference, or any ``register_backend`` addition).  Custom
-        weighting callables and pruning schemes automatically fall back
-        to the reference path, so any combination is valid.
+        Execution backend name (``"vectorized"`` default, ``"parallel"``
+        sharded multi-process, ``"python"`` reference, or any
+        ``register_backend`` addition).  Custom weighting callables and
+        pruning schemes automatically fall back to the reference path, so
+        any combination is valid.
+    backend_options:
+        Extra keyword arguments for the backend callable (e.g. the
+        ``parallel`` backend's ``workers``/``shard_size``);
+        ``BlastConfig.backend_options()`` derives them from a config.
 
     The collection the stage consumed is preserved under
     ``context.artifacts[INITIAL_BLOCKS]``.
@@ -412,12 +417,14 @@ class MetaBlockingStage(BaseStage):
         entropy_boost: bool = False,
         use_entropy: bool = True,
         backend: str = "vectorized",
+        backend_options: dict | None = None,
     ) -> None:
         self.weighting = weighting
         self.pruning = pruning if pruning is not None else BlastPruning()
         self.entropy_boost = entropy_boost
         self.use_entropy = use_entropy
         self.backend = backend
+        self.backend_options = dict(backend_options or {})
 
     @classmethod
     def from_config(cls, config: BlastConfig) -> "MetaBlockingStage":
@@ -428,6 +435,7 @@ class MetaBlockingStage(BaseStage):
             entropy_boost=config.entropy_boost,
             use_entropy=config.use_entropy,
             backend=config.backend,
+            backend_options=config.backend_options(),
         )
 
     def apply(self, context: PipelineContext) -> None:
@@ -444,6 +452,7 @@ class MetaBlockingStage(BaseStage):
             entropy_boost=self.entropy_boost,
             key_entropy=key_entropy,
             backend=self.backend,
+            backend_options=self.backend_options,
         )
         context.blocks = meta.run(blocks)
 

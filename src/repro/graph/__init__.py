@@ -8,6 +8,7 @@ from repro.graph.metablocking import (
     blocks_from_edges,
     reference_metablocking,
 )
+from repro.graph.parallel import parallel_metablocking
 from repro.graph.pruning import (
     BlastPruning,
     CardinalityEdgePruning,
@@ -16,6 +17,7 @@ from repro.graph.pruning import (
     WeightEdgePruning,
     WeightNodePruning,
 )
+from repro.graph.sharding import ShardableIndex, ShardEdges, plan_shards
 from repro.graph.vectorized import ArrayBlockingGraph, vectorized_metablocking
 from repro.graph.weights import WeightingScheme, compute_weights
 
@@ -24,8 +26,12 @@ __all__ = [
     "EdgeStats",
     "EntityIndex",
     "ArrayBlockingGraph",
+    "ShardableIndex",
+    "ShardEdges",
+    "plan_shards",
     "reference_metablocking",
     "vectorized_metablocking",
+    "parallel_metablocking",
     "ContingencyTable",
     "chi_squared",
     "WeightingScheme",

@@ -5,7 +5,7 @@ far higher PQ and nearly identical PC.  After pruning, every retained edge
 becomes a block of exactly one comparison, so the output collection is
 redundancy-free by construction.
 
-Two result-equivalent execution backends exist, addressable by name
+Three result-equivalent execution backends exist, addressable by name
 through :data:`repro.core.registry.BACKENDS`:
 
 * ``"python"`` — :func:`reference_metablocking`, the dict-based reference
@@ -13,7 +13,11 @@ through :data:`repro.core.registry.BACKENDS`:
 * ``"vectorized"`` (the default) —
   :func:`repro.graph.vectorized.vectorized_metablocking`, the array-backed
   hot path; it delegates back to the reference for components it cannot
-  vectorize, so any registered backend accepts any weighting/pruning.
+  vectorize, so any registered backend accepts any weighting/pruning;
+* ``"parallel"`` —
+  :func:`repro.graph.parallel.parallel_metablocking`, the vectorized
+  arrays sharded by entity-id range across worker processes (bit-identical
+  merge; same reference fallback).
 
 A backend is a callable ``(collection, *, weighting, pruning,
 entropy_boost, key_entropy) -> list[Edge]`` returning the retained edges
@@ -98,10 +102,15 @@ class MetaBlocker:
         Blocking-key -> cluster-entropy map; leave ``None`` for
         entropy-agnostic weighting (every key counts 1.0).
     backend:
-        Execution backend: ``"vectorized"`` (array-backed, the default)
-        or ``"python"`` (the reference oracle) — or any name registered
-        via ``repro.core.registry.register_backend``.  Both built-ins
-        retain the identical edge set.
+        Execution backend: ``"vectorized"`` (array-backed, the default),
+        ``"parallel"`` (sharded across worker processes) or ``"python"``
+        (the reference oracle) — or any name registered via
+        ``repro.core.registry.register_backend``.  All built-ins retain
+        the identical edge set.
+    backend_options:
+        Extra keyword arguments forwarded to the backend callable — e.g.
+        ``{"workers": 4, "shard_size": 500_000}`` for the ``parallel``
+        backend.  Empty for the built-in serial backends.
 
     Example
     -------
@@ -116,6 +125,7 @@ class MetaBlocker:
     entropy_boost: bool = False
     key_entropy: KeyEntropyFn | None = None
     backend: str = "vectorized"
+    backend_options: dict = field(default_factory=dict)
 
     def build_graph(self, collection: BlockCollection) -> BlockingGraph:
         """Materialize the (reference) blocking graph of *collection*."""
@@ -129,6 +139,7 @@ class MetaBlocker:
             pruning=self.pruning,
             entropy_boost=self.entropy_boost,
             key_entropy=self.key_entropy,
+            **self.backend_options,
         )
 
     def run(self, collection: BlockCollection) -> BlockCollection:

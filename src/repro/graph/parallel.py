@@ -1,0 +1,352 @@
+"""Sharded multi-process meta-blocking: the ``parallel`` backend.
+
+The vectorized backend (``repro.graph.vectorized``) made meta-blocking a
+handful of numpy passes; this module spreads the dominant pass — pair
+enumeration, edge deduplication, and mass accumulation — across worker
+processes, one contiguous entity-id shard each (``repro.graph.sharding``),
+then merges the shards deterministically and prunes in the parent:
+
+1. the parent plans contiguous entity-id ranges balanced on per-entity
+   comparison counts (:func:`~repro.graph.sharding.plan_shards`);
+2. each worker enumerates its shard's comparisons, dedupes them into
+   sorted edge arrays, accumulates the float masses, and — for every
+   weighting except EJS — evaluates the edge weights in place with the
+   shared elementwise kernel
+   (:func:`~repro.graph.vectorized.compute_edge_weights`);
+3. the parent concatenates the shard arrays (shards cover ascending
+   ``src`` ranges, so concatenation IS the lexicographic edge order),
+   computes EJS from the merged global degrees when needed, and runs the
+   existing vectorized pruning (:func:`~repro.graph.vectorized.prune_mask`)
+   over the merged arrays.
+
+Because each edge lives in exactly one shard with all of its block
+occurrences, the merged ``src``/``dst``/``shared``/mass/weight arrays are
+bit-identical to the serial vectorized backend's — and pruning runs the
+identical code on identical inputs, so the retained edge set matches the
+``vectorized`` (and therefore the ``python`` oracle) backend exactly, for
+every weighting scheme and built-in pruning strategy.
+
+``workers=1`` runs the shards sequentially in-process — no pool, no
+pickling — which doubles as the chunked low-memory mode: with
+``shard_size`` set, the big per-pair arrays (the packed sort keys and
+their argsort workspace) never exceed one shard's comparisons, instead of
+the full ``||B||`` the serial backend materializes at once.
+
+Inputs the array path cannot express (custom weighting callables,
+user-defined pruning schemes) delegate to the pure-python reference
+backend, exactly like the vectorized backend does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blocking.base import BlockCollection
+from repro.graph.blocking_graph import Edge, KeyEntropyFn
+from repro.graph.pruning import PruningScheme
+from repro.graph.sharding import (
+    ShardableIndex,
+    ShardEdges,
+    plan_shards,
+    shard_edge_arrays,
+)
+from repro.graph.vectorized import (
+    compute_edge_weights,
+    edge_degrees,
+    prune_mask,
+    supports_pruning,
+)
+from repro.graph.weights import WeightingScheme
+
+__all__ = [
+    "merge_shards",
+    "parallel_metablocking",
+    "resolve_workers",
+]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """The effective worker-process count (``None`` -> cpu count).
+
+    Validation matches :class:`~repro.core.config.BlastConfig`: the knob
+    is positive or ``None``, at every API layer.
+    """
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be positive or None, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class _SharedState:
+    """The per-run state every worker shares, shipped ONCE per worker.
+
+    The CSR index and the dense per-node/per-block arrays are identical
+    for every shard, so they travel through the pool *initializer* — one
+    pickle per worker process (and zero pickling under ``fork``, where
+    the child inherits the parent's pages copy-on-write) — while the
+    per-task payload is just an ``(lo, hi)`` id range.  ``scheme`` is the
+    weighting to evaluate in the worker (its string value, not the enum
+    member) or ``None`` when the parent weights after the merge (EJS,
+    which needs global degrees).
+    """
+
+    index: ShardableIndex
+    block_entropies: np.ndarray | None
+    need_arcs: bool
+    scheme: str | None
+    entropy_boost: bool
+    node_block_counts: np.ndarray | None
+    num_blocks: int
+
+
+#: Worker-process slot for the run's shared state (set by ``_init_worker``).
+_WORKER_STATE: _SharedState | None = None
+
+
+def _init_worker(state: _SharedState) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_shard(
+    state: _SharedState, lo: int, hi: int
+) -> tuple[ShardEdges, np.ndarray | None]:
+    """Shard body: build one id range's edges (and weights, when local)."""
+    edges = shard_edge_arrays(
+        state.index,
+        lo,
+        hi,
+        block_entropies=state.block_entropies,
+        need_arcs=state.need_arcs,
+    )
+    weights = None
+    if state.scheme is not None:
+        counts = state.node_block_counts
+        weights = compute_edge_weights(
+            WeightingScheme(state.scheme),
+            shared=edges.shared,
+            blocks_i=counts[edges.src],
+            blocks_j=counts[edges.dst],
+            num_blocks=state.num_blocks,
+            arcs_mass=edges.arcs_mass,
+            entropy_mass=edges.entropy_mass,
+            entropy_boost=state.entropy_boost,
+        )
+    return edges, weights
+
+
+def _run_shard_in_worker(
+    bounds: tuple[int, int],
+) -> tuple[ShardEdges, np.ndarray | None]:
+    """Pool entry point: one ``(lo, hi)`` range against the worker state."""
+    assert _WORKER_STATE is not None, "worker initialized without state"
+    return _run_shard(_WORKER_STATE, bounds[0], bounds[1])
+
+
+def merge_shards(shards: list[ShardEdges]) -> ShardEdges:
+    """Concatenate per-shard edge arrays into the global edge arrays.
+
+    Shards cover ascending ``src`` ranges and each shard is sorted
+    lexicographically, so plain concatenation in plan order yields the
+    globally sorted, duplicate-free edge list — bit-identical to
+    ``ArrayBlockingGraph``'s arrays (each edge's masses were accumulated
+    whole inside its single owning shard).
+    """
+    if not shards:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return ShardEdges(src=empty_i, dst=empty_i.copy(), shared=empty_i.copy())
+    return ShardEdges(
+        src=np.concatenate([s.src for s in shards]),
+        dst=np.concatenate([s.dst for s in shards]),
+        shared=np.concatenate([s.shared for s in shards]),
+        arcs_mass=np.concatenate([s.arcs_mass for s in shards])
+        if shards[0].arcs_mass is not None
+        else None,
+        entropy_mass=np.concatenate([s.entropy_mass for s in shards])
+        if shards[0].entropy_mass is not None
+        else None,
+    )
+
+
+@dataclass(frozen=True)
+class _MergedGraph:
+    """The merged-array stand-in ``prune_mask`` dispatches over.
+
+    Duck-types the slice of ``ArrayBlockingGraph`` the vectorized pruning
+    handlers read: edge endpoints, the dense ``|B_p|`` array, and the
+    indexed-profile count.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    node_blocks: np.ndarray
+    num_nodes: int
+
+
+def _validate_plan(plan: list[tuple[int, int]], num_ids: int) -> None:
+    """Reject shard plans that would silently corrupt the merge.
+
+    Merging is plain concatenation, so a plan must tile ``[0, num_ids)``
+    contiguously: an overlap would duplicate edges, a gap would drop
+    them — both yield a plausible-looking wrong result rather than a
+    crash.  Empty ranges (``lo == hi``) are fine.
+    """
+    if num_ids == 0:
+        return
+    if not plan:
+        raise ValueError("shard_plan must cover the entity-id space")
+    cursor = 0
+    for lo, hi in plan:
+        if lo != cursor or hi < lo:
+            raise ValueError(
+                f"shard_plan must tile [0, {num_ids}) contiguously; "
+                f"range ({lo}, {hi}) breaks at position {cursor}"
+            )
+        cursor = hi
+    if cursor != num_ids:
+        raise ValueError(
+            f"shard_plan must tile [0, {num_ids}) contiguously; "
+            f"coverage stops at {cursor}"
+        )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, shares pages COW); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_metablocking(
+    collection: BlockCollection,
+    *,
+    weighting=WeightingScheme.CHI_H,
+    pruning: PruningScheme,
+    entropy_boost: bool = False,
+    key_entropy: KeyEntropyFn | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
+    shard_plan: list[tuple[int, int]] | None = None,
+) -> list[Edge]:
+    """The ``parallel`` meta-blocking backend: sorted retained edges.
+
+    Bit-identical to :func:`repro.graph.vectorized.vectorized_metablocking`
+    (and hence to the ``python`` oracle) for every weighting scheme and
+    built-in pruning strategy; unsupported components delegate to the
+    reference path.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` means the machine's cpu count, ``1``
+        runs the shards sequentially in-process (the chunked low-memory
+        mode — no pool, no pickling).  Must be positive or ``None``.
+    shard_size:
+        Cap on the comparisons enumerated per shard (strict, except that
+        a single entity owning more than the cap becomes a shard of its
+        own); bounds the peak per-shard edge-array bytes.  ``None``
+        splits the id space into one balanced shard per worker.
+    shard_plan:
+        Explicit ``[(lo, hi), ...]`` entity-id ranges, overriding the
+        planner — the hook the conformance/property suites use to pin
+        pathological shard layouts (empty ranges, single-entity ranges).
+        Must tile ``[0, num_ids)`` contiguously (validated: an overlap or
+        gap would silently corrupt the merge).
+    """
+    if isinstance(weighting, str):
+        weighting = WeightingScheme(weighting)
+    if not isinstance(weighting, WeightingScheme) or not supports_pruning(
+        pruning
+    ):
+        from repro.graph.metablocking import reference_metablocking
+
+        return reference_metablocking(
+            collection,
+            weighting=weighting,
+            pruning=pruning,
+            entropy_boost=entropy_boost,
+            key_entropy=key_entropy,
+        )
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    workers = resolve_workers(workers)
+
+    index = collection.entity_index
+    slim = ShardableIndex.from_entity_index(index)
+    plan = (
+        shard_plan
+        if shard_plan is not None
+        else plan_shards(slim, num_shards=workers, max_pairs=shard_size)
+    )
+
+    if shard_plan is not None:
+        _validate_plan(plan, slim.num_ids)
+
+    needs_entropy = weighting is WeightingScheme.CHI_H or entropy_boost
+    block_entropies = (
+        index.block_entropies(key_entropy) if needs_entropy else None
+    )
+    need_arcs = weighting is WeightingScheme.ARCS
+    # EJS mixes global degree statistics into every edge; its weights are
+    # evaluated in the parent over the merged arrays instead of per shard.
+    weight_in_worker = weighting is not WeightingScheme.EJS
+    counts = index.node_block_counts
+    state = _SharedState(
+        index=slim,
+        block_entropies=block_entropies,
+        need_arcs=need_arcs,
+        scheme=weighting.value if weight_in_worker else None,
+        entropy_boost=entropy_boost,
+        node_block_counts=counts if weight_in_worker else None,
+        num_blocks=index.num_blocks,
+    )
+
+    if workers > 1 and len(plan) > 1:
+        with _pool_context().Pool(
+            processes=min(workers, len(plan)),
+            initializer=_init_worker,
+            initargs=(state,),
+        ) as pool:
+            results = pool.map(_run_shard_in_worker, plan)
+    else:
+        results = [_run_shard(state, lo, hi) for lo, hi in plan]
+
+    edges = merge_shards([edges for edges, _ in results])
+    if weight_in_worker:
+        shard_weights = [
+            weights for _, weights in results if weights is not None
+        ]
+        weights = (
+            np.concatenate(shard_weights)
+            if shard_weights
+            else np.zeros(0, dtype=np.float64)
+        )
+    else:
+        degrees = edge_degrees(edges.src, edges.dst, counts.size)
+        weights = compute_edge_weights(
+            WeightingScheme.EJS,
+            shared=edges.shared,
+            blocks_i=counts[edges.src],
+            blocks_j=counts[edges.dst],
+            num_blocks=index.num_blocks,
+            entropy_mass=edges.entropy_mass,
+            degrees_src=degrees[edges.src],
+            degrees_dst=degrees[edges.dst],
+            num_edges=edges.num_edges,
+            entropy_boost=entropy_boost,
+        )
+
+    graph = _MergedGraph(
+        src=edges.src,
+        dst=edges.dst,
+        node_blocks=counts,
+        num_nodes=index.num_indexed_profiles,
+    )
+    mask = prune_mask(pruning, graph, weights)
+    return list(zip(edges.src[mask].tolist(), edges.dst[mask].tolist()))

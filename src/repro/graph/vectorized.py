@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.blocking.base import BlockCollection
 from repro.graph.blocking_graph import Edge, KeyEntropyFn
-from repro.graph.entity_index import EntityIndex, pack_pairs, unpack_pairs
+from repro.graph.entity_index import EntityIndex
 from repro.graph.pruning import (
     BlastPruning,
     CardinalityEdgePruning,
@@ -45,10 +45,16 @@ from repro.graph.pruning import (
     WeightEdgePruning,
     WeightNodePruning,
 )
+from repro.graph.sharding import (
+    accumulate_arcs_mass,
+    accumulate_entropy_mass,
+    dedupe_pair_arrays,
+)
 from repro.graph.weights import WeightingScheme
 
 __all__ = [
     "ArrayBlockingGraph",
+    "compute_edge_weights",
     "prune_mask",
     "supports_pruning",
     "vectorized_metablocking",
@@ -94,24 +100,9 @@ class ArrayBlockingGraph:
             self._inverse = empty_i
             return
 
-        # One stable sort on the packed (src, dst) key deduplicates edges;
-        # the inverse mapping (pair -> edge id) then lets bincount
-        # accumulate each edge's float masses in the ORIGINAL block-major
-        # order — bincount is a sequential C loop, so the summation order
-        # (and hence every rounding) matches the reference path's
-        # ``stats.x += ...`` bit for bit.  Pairwise-summing reductions
-        # (reduceat, np.sum) would drift by an ulp and flip tie-breaks.
-        packed = pack_pairs(src, dst)
-        order = np.argsort(packed, kind="stable")
-        packed_sorted = packed[order]
-        boundary = np.concatenate(
-            ([True], packed_sorted[1:] != packed_sorted[:-1])
-        )
-        starts = np.flatnonzero(boundary)
-        self.src, self.dst = unpack_pairs(packed_sorted[starts])
-        inverse = np.empty(packed.size, dtype=np.int64)
-        inverse[order] = np.cumsum(boundary) - 1
-        self.shared = np.bincount(inverse, minlength=starts.size)
+        # One stable sort + inverse mapping (see dedupe_pair_arrays for the
+        # bit-level accumulation-order contract).
+        self.src, self.dst, self.shared, inverse = dedupe_pair_arrays(src, dst)
         # The float masses are accumulated lazily: CBS/ECBS/JS/EJS without
         # entropy_boost never read them, and the two weighted bincount
         # passes are a measurable slice of the hot path.
@@ -128,13 +119,12 @@ class ArrayBlockingGraph:
     def arcs_mass(self) -> np.ndarray:
         """Per-edge ``sum over shared blocks of 1/||b||`` (lazy)."""
         if self._arcs_mass is None:
-            comparisons = self._index.block_comparisons
-            arcs_share = np.zeros(self.num_blocks, dtype=np.float64)
-            np.divide(1.0, comparisons, out=arcs_share, where=comparisons > 0)
-            self._arcs_mass = np.bincount(
+            self._arcs_mass = accumulate_arcs_mass(
+                self._index.block_comparisons,
+                self.num_blocks,
                 self._inverse,
-                weights=arcs_share[self._pair_block],
-                minlength=self.num_edges,
+                self._pair_block,
+                self.num_edges,
             )
         return self._arcs_mass
 
@@ -142,21 +132,18 @@ class ArrayBlockingGraph:
     def entropy_mass(self) -> np.ndarray:
         """Per-edge summed entropy of the shared blocking keys (lazy)."""
         if self._entropy_mass is None:
-            entropies = self._index.block_entropies(self._key_entropy)
-            self._entropy_mass = np.bincount(
+            self._entropy_mass = accumulate_entropy_mass(
+                self._index.block_entropies(self._key_entropy),
                 self._inverse,
-                weights=entropies[self._pair_block],
-                minlength=self.num_edges,
+                self._pair_block,
+                self.num_edges,
             )
         return self._entropy_mass
 
     @cached_property
     def degrees(self) -> np.ndarray:
         """|v_i| per profile id (dense), cached after first use."""
-        n = self.node_blocks.size
-        return np.bincount(self.src, minlength=n) + np.bincount(
-            self.dst, minlength=n
-        )
+        return edge_degrees(self.src, self.dst, self.node_blocks.size)
 
     def edge_list(self) -> list[Edge]:
         """Edges as Python ``(i, j)`` tuples, lexicographically sorted."""
@@ -169,46 +156,109 @@ class ArrayBlockingGraph:
     ) -> np.ndarray:
         """Per-edge weights under *scheme*, aligned with the edge arrays."""
         scheme = WeightingScheme(scheme)
-        shared = self.shared
-        if shared.size == 0:
+        if self.shared.size == 0:
             return np.zeros(0, dtype=np.float64)
-        total = self.num_blocks
-        blocks_i = self.node_blocks[self.src]
-        blocks_j = self.node_blocks[self.dst]
+        # The lazy mass/degree properties are only touched when the scheme
+        # actually reads them — CBS/ECBS/JS stay bincount-free.
+        needs_entropy = scheme is WeightingScheme.CHI_H or entropy_boost
+        needs_degrees = scheme is WeightingScheme.EJS
+        degrees = self.degrees if needs_degrees else None
+        return compute_edge_weights(
+            scheme,
+            shared=self.shared,
+            blocks_i=self.node_blocks[self.src],
+            blocks_j=self.node_blocks[self.dst],
+            num_blocks=self.num_blocks,
+            arcs_mass=self.arcs_mass
+            if scheme is WeightingScheme.ARCS
+            else None,
+            entropy_mass=self.entropy_mass if needs_entropy else None,
+            degrees_src=degrees[self.src] if needs_degrees else None,
+            degrees_dst=degrees[self.dst] if needs_degrees else None,
+            num_edges=self.num_edges if needs_degrees else None,
+            entropy_boost=entropy_boost,
+        )
 
-        if scheme is WeightingScheme.CBS:
-            weights = shared.astype(np.float64)
-        elif scheme is WeightingScheme.ECBS:
-            weights = (
-                shared
-                * _safe_log(total, blocks_i)
-                * _safe_log(total, blocks_j)
-            )
-        elif scheme is WeightingScheme.JS:
-            weights = shared / (blocks_i + blocks_j - shared)
-        elif scheme is WeightingScheme.EJS:
-            degrees = self.degrees
-            num_edges = self.num_edges
-            js = shared / (blocks_i + blocks_j - shared)
-            weights = (
-                js
-                * _safe_log(num_edges, degrees[self.src])
-                * _safe_log(num_edges, degrees[self.dst])
-            )
-        elif scheme is WeightingScheme.ARCS:
-            weights = self.arcs_mass.copy()
-        else:  # CHI_H — one-sided chi-squared x mean entropy.
-            expected_shared = blocks_i * blocks_j / total
-            chi = _chi_squared(shared, blocks_i, blocks_j, total)
-            weights = np.where(
-                shared <= expected_shared,
-                0.0,
-                chi * (self.entropy_mass / shared),
-            )
 
-        if entropy_boost and scheme is not WeightingScheme.CHI_H:
-            weights = weights * (self.entropy_mass / shared)
-        return weights
+def edge_degrees(src: np.ndarray, dst: np.ndarray, num_ids: int) -> np.ndarray:
+    """|v_i| per profile id (dense) from deduplicated edge endpoints.
+
+    Shared by the serial graph's :attr:`ArrayBlockingGraph.degrees` and
+    the parallel backend's post-merge EJS path — one definition, so the
+    backends cannot drift.
+    """
+    return np.bincount(src, minlength=num_ids) + np.bincount(
+        dst, minlength=num_ids
+    )
+
+
+def compute_edge_weights(
+    scheme: WeightingScheme,
+    *,
+    shared: np.ndarray,
+    blocks_i: np.ndarray,
+    blocks_j: np.ndarray,
+    num_blocks: int,
+    arcs_mass: np.ndarray | None = None,
+    entropy_mass: np.ndarray | None = None,
+    degrees_src: np.ndarray | None = None,
+    degrees_dst: np.ndarray | None = None,
+    num_edges: int | None = None,
+    entropy_boost: bool = False,
+) -> np.ndarray:
+    """Edge weights under *scheme* from raw per-edge arrays.
+
+    The single weighting kernel behind both :meth:`ArrayBlockingGraph.weights`
+    and the per-shard workers of the ``parallel`` backend.  Every operation
+    is elementwise (the EJS degree statistics arrive pre-gathered per edge),
+    so evaluating a shard's slice produces bit-identical values to
+    evaluating the same rows inside the full arrays — the property the
+    sharded backend's equivalence contract rests on.
+    """
+    scheme = WeightingScheme(scheme)
+    if shared.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    total = num_blocks
+
+    if scheme is WeightingScheme.CBS:
+        weights = shared.astype(np.float64)
+    elif scheme is WeightingScheme.ECBS:
+        weights = (
+            shared
+            * _safe_log(total, blocks_i)
+            * _safe_log(total, blocks_j)
+        )
+    elif scheme is WeightingScheme.JS:
+        weights = shared / (blocks_i + blocks_j - shared)
+    elif scheme is WeightingScheme.EJS:
+        if degrees_src is None or degrees_dst is None or num_edges is None:
+            raise ValueError("EJS weighting needs global degree statistics")
+        js = shared / (blocks_i + blocks_j - shared)
+        weights = (
+            js
+            * _safe_log(num_edges, degrees_src)
+            * _safe_log(num_edges, degrees_dst)
+        )
+    elif scheme is WeightingScheme.ARCS:
+        if arcs_mass is None:
+            raise ValueError("ARCS weighting needs the per-edge ARCS mass")
+        weights = arcs_mass.copy()
+    else:  # CHI_H — one-sided chi-squared x mean entropy.
+        if entropy_mass is None:
+            raise ValueError("CHI_H weighting needs the per-edge entropy mass")
+        expected_shared = blocks_i * blocks_j / total
+        chi = _chi_squared(shared, blocks_i, blocks_j, total)
+        weights = np.where(
+            shared <= expected_shared,
+            0.0,
+            chi * (entropy_mass / shared),
+        )
+
+    if entropy_boost and scheme is not WeightingScheme.CHI_H:
+        if entropy_mass is None:
+            raise ValueError("entropy_boost needs the per-edge entropy mass")
+        weights = weights * (entropy_mass / shared)
+    return weights
 
 
 def _safe_log(numerator: int, denominators: np.ndarray) -> np.ndarray:

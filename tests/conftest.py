@@ -7,6 +7,22 @@ import pytest
 from repro.data import EntityCollection, EntityProfile, ERDataset, GroundTruth
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the committed golden CLI fixtures "
+        "(tests/integration/goldens/) instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """Whether golden-file tests should refresh their fixtures."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 def _figure1_profiles() -> tuple[EntityProfile, ...]:
     """The four entity profiles of Figure 1a, verbatim."""
     p1 = EntityProfile.from_dict(

@@ -1,0 +1,88 @@
+"""Benchmark bit-rot guard: the bench scripts stay importable and runnable.
+
+The ``benchmarks/`` scripts are not collected by pytest (they are either
+standalone scripts or pytest-benchmark suites run on demand), so an API
+change could silently break them until the next bench session.  This
+module imports every one of them, and drives the two standalone scripts
+(``bench_scaling``, ``bench_streaming``) plus the shared ``harness``
+helpers end-to-end at tiny scale.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_MODULES = sorted(path.stem for path in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _bench_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+
+
+@pytest.mark.parametrize("name", BENCH_MODULES + ["harness"])
+def test_bench_module_imports(name):
+    module = importlib.import_module(name)
+    assert module.__file__ is not None
+
+
+def test_bench_scaling_runs_at_tiny_scale(tmp_path, capsys):
+    bench_scaling = importlib.import_module("bench_scaling")
+    output = tmp_path / "bench.json"
+    code = bench_scaling.main(
+        ["--profiles", "250", "--repeats", "1", "--schemes", "cbs",
+         "--workers", "2", "--output", str(output)]
+    )
+    capsys.readouterr()
+    assert code == 0
+    report = json.loads(output.read_text(encoding="utf-8"))
+    assert report["all_equivalent"] is True
+    assert report["runs"][0]["scheme"] == "cbs"
+    scaling = report["parallel_scaling"]
+    assert scaling["all_equivalent"] is True
+    assert {run["workers"] for run in scaling["runs"]} >= {1, 2}
+    assert scaling["chunked"]["equivalent"] is True
+    assert report["phase_breakdown"]["equivalent"] is True
+
+
+def test_bench_scaling_speedup_floor_enforced(tmp_path, capsys):
+    bench_scaling = importlib.import_module("bench_scaling")
+    code = bench_scaling.main(
+        ["--profiles", "250", "--repeats", "1", "--schemes", "cbs",
+         "--workers", "1", "--output", str(tmp_path / "bench.json"),
+         # An absurd floor no machine meets: the gate must trip.
+         "--min-parallel-speedup", "1e9"]
+    )
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_bench_streaming_runs_at_tiny_scale(tmp_path, capsys):
+    bench_streaming = importlib.import_module("bench_streaming")
+    output = tmp_path / "bench.json"
+    code = bench_streaming.main(
+        ["--profiles", "150", "--output", str(output)]
+    )
+    capsys.readouterr()
+    assert code == 0
+    report = json.loads(output.read_text(encoding="utf-8"))
+    assert report["profiles"] > 0
+
+
+def test_harness_helpers_at_tiny_scale():
+    harness = importlib.import_module("harness")
+    from repro.graph.pruning import WeightNodePruning
+
+    dataset = harness.clean_dataset("ar1", scale=0.05)
+    blocks = harness.blocks_T("ar1", scale=0.05)
+    assert len(blocks) > 0
+    row = harness.traditional_mb_row(
+        "smoke", blocks, dataset, lambda: WeightNodePruning()
+    )
+    assert "smoke" in row.formatted()
+    assert 0.0 <= row.quality.pair_completeness <= 1.0

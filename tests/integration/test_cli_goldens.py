@@ -1,0 +1,145 @@
+"""Golden-file regression tests for the CLI's machine-readable output.
+
+``repro run`` and ``repro stream`` are the outputs external tooling
+consumes; any drift in their format or content (column order, JSON field
+names, candidate sets, weight values) must fail loudly.  These tests
+replay the paper's Figure 1 example through both commands and compare the
+produced files byte-for-byte against committed fixtures under
+``tests/integration/goldens/``.
+
+When an intentional change alters the output, refresh the fixtures with::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_cli_goldens.py \
+        --update-goldens
+
+and commit the diff — the review of that diff IS the format change review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_collection
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def check_golden(name: str, actual: str, update: bool) -> None:
+    """Compare *actual* to the committed fixture (or rewrite it)."""
+    path = GOLDEN_DIR / name
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        "pytest --update-goldens and commit it"
+    )
+    assert actual == path.read_text(encoding="utf-8"), (
+        f"{name} drifted from the committed golden; if the change is "
+        "intentional, refresh with pytest --update-goldens and commit"
+    )
+
+
+@pytest.fixture
+def figure1_files(figure1_clean_clean, tmp_path: Path) -> dict[str, Path]:
+    """The Figure 1 clean-clean task written as CLI input files."""
+    left = tmp_path / "left.jsonl"
+    right = tmp_path / "right.jsonl"
+    save_collection(figure1_clean_clean.collection1, left)
+    save_collection(figure1_clean_clean.collection2, right)
+    return {"left": left, "right": right}
+
+
+class TestRunGoldens:
+    def test_candidate_pairs_csv(self, figure1_files, tmp_path, update_goldens,
+                                 capsys):
+        output = tmp_path / "pairs.csv"
+        code = main(["run",
+                     "--left", str(figure1_files["left"]),
+                     "--right", str(figure1_files["right"]),
+                     "--output", str(output)])
+        capsys.readouterr()  # timing line — not golden material
+        assert code == 0
+        check_golden(
+            "run_figure1_pairs.csv",
+            output.read_text(encoding="utf-8"),
+            update_goldens,
+        )
+
+    def test_python_backend_produces_the_same_golden(
+        self, figure1_files, tmp_path, update_goldens, capsys
+    ):
+        if update_goldens:
+            pytest.skip("fixture refreshed by test_candidate_pairs_csv")
+        # The golden doubles as a cross-backend anchor: every backend must
+        # reproduce the committed bytes, not merely agree with each other.
+        for backend, extra in (
+            ("python", []),
+            ("parallel", ["--workers", "1", "--shard-size", "4"]),
+        ):
+            output = tmp_path / f"pairs-{backend}.csv"
+            code = main(["run",
+                         "--left", str(figure1_files["left"]),
+                         "--right", str(figure1_files["right"]),
+                         "--backend", backend,
+                         "--output", str(output), *extra])
+            capsys.readouterr()
+            assert code == 0
+            check_golden(
+                "run_figure1_pairs.csv",
+                output.read_text(encoding="utf-8"),
+                update=False,
+            )
+
+
+class TestStreamGoldens:
+    def test_arrival_candidates_jsonl(self, figure1_dirty, tmp_path,
+                                      update_goldens, capsys):
+        stream_input = tmp_path / "stream.jsonl"
+        with stream_input.open("w", encoding="utf-8") as handle:
+            for profile in figure1_dirty.collection1:
+                record = {
+                    "id": profile.profile_id,
+                    "attributes": [list(pair) for pair in profile.attributes],
+                }
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        output = tmp_path / "candidates.jsonl"
+        code = main(["stream",
+                     "--input", str(stream_input),
+                     "--output", str(output)])
+        capsys.readouterr()
+        assert code == 0
+        check_golden(
+            "stream_figure1_candidates.jsonl",
+            output.read_text(encoding="utf-8"),
+            update_goldens,
+        )
+
+    def test_exact_consistency_jsonl(self, figure1_dirty, tmp_path,
+                                     update_goldens, capsys):
+        stream_input = tmp_path / "stream.jsonl"
+        with stream_input.open("w", encoding="utf-8") as handle:
+            for profile in figure1_dirty.collection1:
+                record = {
+                    "id": profile.profile_id,
+                    "attributes": [list(pair) for pair in profile.attributes],
+                }
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        output = tmp_path / "candidates-exact.jsonl"
+        code = main(["stream",
+                     "--input", str(stream_input),
+                     "--output", str(output),
+                     "--consistency", "exact",
+                     "--weighting", "cbs"])
+        capsys.readouterr()
+        assert code == 0
+        check_golden(
+            "stream_figure1_exact_cbs.jsonl",
+            output.read_text(encoding="utf-8"),
+            update_goldens,
+        )

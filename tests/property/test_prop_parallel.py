@@ -1,0 +1,240 @@
+"""Property-based shard invariance of the parallel meta-blocking backend.
+
+The sharded backend's contract is stronger than result equivalence: the
+*merged edge arrays* must be bit-identical to the serial vectorized
+graph's — same edges, same order, same float masses down to the last ulp
+— no matter how the entity-id space is partitioned.  Hypothesis hammers
+that with random collections and pathological shard plans: 1/2/7/16-way
+balanced plans, arbitrary boundary sets, empty ranges, and single-entity
+ranges.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking.base import build_blocks
+from repro.graph import WeightingScheme
+from repro.graph.metablocking import reference_metablocking
+from repro.graph.parallel import merge_shards, parallel_metablocking
+from repro.graph.pruning import (
+    BlastPruning,
+    CardinalityEdgePruning,
+    CardinalityNodePruning,
+    WeightEdgePruning,
+    WeightNodePruning,
+)
+from repro.graph.sharding import (
+    ShardableIndex,
+    pair_counts_by_entity,
+    plan_shards,
+    shard_edge_arrays,
+)
+from repro.graph.vectorized import ArrayBlockingGraph
+
+NUM_PROFILES = 12
+
+dirty_keyed = st.dictionaries(
+    keys=st.text(alphabet="abcdef", min_size=1, max_size=4),
+    values=st.sets(st.integers(0, NUM_PROFILES - 1), min_size=2, max_size=6),
+    min_size=1,
+    max_size=10,
+)
+
+clean_keyed = st.dictionaries(
+    keys=st.text(alphabet="abcdef", min_size=1, max_size=4),
+    values=st.tuples(
+        st.sets(st.integers(0, 5), min_size=1, max_size=4),
+        st.sets(st.integers(6, 11), min_size=1, max_size=4),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+collections = st.one_of(
+    dirty_keyed.map(lambda keyed: build_blocks(keyed, is_clean_clean=False)),
+    clean_keyed.map(lambda keyed: build_blocks(keyed, is_clean_clean=True)),
+)
+
+#: Deterministic, non-trivial per-key entropies (or None for the neutral 1.0).
+entropies = st.sampled_from(
+    [None, lambda key: 0.25 + (sum(map(ord, key)) % 7) / 3.0]
+)
+
+PRUNINGS = [
+    BlastPruning(),
+    WeightEdgePruning(),
+    CardinalityEdgePruning(),
+    WeightNodePruning(reciprocal=True),
+    CardinalityNodePruning(reciprocal=False),
+]
+
+SHARD_COUNTS = [1, 2, 7, 16]
+
+
+def _arbitrary_plans(num_ids: int):
+    """Shard plans from arbitrary boundary multisets over ``[0, num_ids]``.
+
+    Repeated boundaries produce empty ranges; adjacent boundaries produce
+    single-entity ranges — the pathological layouts the backend must
+    absorb without changing a single bit.
+    """
+    return st.lists(
+        st.integers(0, num_ids), min_size=0, max_size=6
+    ).map(
+        lambda cuts: [
+            (lo, hi)
+            for lo, hi in zip(
+                [0] + sorted(cuts), sorted(cuts) + [num_ids]
+            )
+        ]
+    )
+
+
+def _bit_identical(merged, graph: ArrayBlockingGraph) -> None:
+    assert merged.src.tobytes() == graph.src.tobytes()
+    assert merged.dst.tobytes() == graph.dst.tobytes()
+    assert merged.shared.tobytes() == graph.shared.tobytes()
+    assert merged.arcs_mass.tobytes() == graph.arcs_mass.tobytes()
+    assert merged.entropy_mass.tobytes() == graph.entropy_mass.tobytes()
+
+
+class TestMergedArraysBitIdentical:
+    @given(collections, entropies, st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=60)
+    def test_balanced_plans(self, collection, key_entropy, num_shards):
+        index = collection.entity_index
+        slim = ShardableIndex.from_entity_index(index)
+        graph = ArrayBlockingGraph(collection, key_entropy=key_entropy)
+        block_entropies = index.block_entropies(key_entropy)
+        plan = plan_shards(slim, num_shards=num_shards)
+        merged = merge_shards(
+            [
+                shard_edge_arrays(
+                    slim,
+                    lo,
+                    hi,
+                    block_entropies=block_entropies,
+                    need_arcs=True,
+                )
+                for lo, hi in plan
+            ]
+        )
+        _bit_identical(merged, graph)
+
+    @given(collections, entropies, st.data())
+    @settings(max_examples=60)
+    def test_arbitrary_plans_with_empty_and_unit_ranges(
+        self, collection, key_entropy, data
+    ):
+        index = collection.entity_index
+        slim = ShardableIndex.from_entity_index(index)
+        plan = data.draw(_arbitrary_plans(slim.num_ids))
+        graph = ArrayBlockingGraph(collection, key_entropy=key_entropy)
+        block_entropies = index.block_entropies(key_entropy)
+        merged = merge_shards(
+            [
+                shard_edge_arrays(
+                    slim,
+                    lo,
+                    hi,
+                    block_entropies=block_entropies,
+                    need_arcs=True,
+                )
+                for lo, hi in plan
+            ]
+        )
+        _bit_identical(merged, graph)
+
+
+class TestRetainedEdgesShardInvariant:
+    @given(
+        collections,
+        entropies,
+        st.sampled_from(list(WeightingScheme)),
+        st.sampled_from(PRUNINGS),
+        st.sampled_from(SHARD_COUNTS),
+        st.booleans(),
+    )
+    @settings(max_examples=80)
+    def test_every_shard_count_matches_the_oracle(
+        self, collection, key_entropy, scheme, pruning, num_shards, boost
+    ):
+        slim = ShardableIndex.from_entity_index(collection.entity_index)
+        plan = plan_shards(slim, num_shards=num_shards)
+        reference = reference_metablocking(
+            collection,
+            weighting=scheme,
+            pruning=pruning,
+            entropy_boost=boost,
+            key_entropy=key_entropy,
+        )
+        parallel = parallel_metablocking(
+            collection,
+            weighting=scheme,
+            pruning=pruning,
+            entropy_boost=boost,
+            key_entropy=key_entropy,
+            workers=1,
+            shard_plan=plan,
+        )
+        assert parallel == reference
+
+    @given(
+        collections,
+        st.sampled_from(list(WeightingScheme)),
+        st.sampled_from(PRUNINGS),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_arbitrary_plans_match_the_oracle(
+        self, collection, scheme, pruning, data
+    ):
+        slim = ShardableIndex.from_entity_index(collection.entity_index)
+        plan = data.draw(_arbitrary_plans(slim.num_ids))
+        reference = reference_metablocking(
+            collection, weighting=scheme, pruning=pruning
+        )
+        parallel = parallel_metablocking(
+            collection,
+            weighting=scheme,
+            pruning=pruning,
+            workers=1,
+            shard_plan=plan,
+        )
+        assert parallel == reference
+
+
+class TestPlanner:
+    @given(collections, st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_plans_partition_the_id_space(self, collection, num_shards):
+        slim = ShardableIndex.from_entity_index(collection.entity_index)
+        plan = plan_shards(slim, num_shards=num_shards)
+        assert plan[0][0] == 0
+        assert plan[-1][1] == slim.num_ids
+        for (_, hi), (lo, _) in zip(plan[:-1], plan[1:]):
+            assert hi == lo
+        assert all(lo < hi for lo, hi in plan)
+        assert len(plan) <= num_shards
+
+    @given(collections, st.integers(1, 50))
+    @settings(max_examples=60)
+    def test_max_pairs_caps_shards_up_to_one_entity(
+        self, collection, max_pairs
+    ):
+        slim = ShardableIndex.from_entity_index(collection.entity_index)
+        counts = pair_counts_by_entity(slim)
+        plan = plan_shards(slim, max_pairs=max_pairs)
+        for lo, hi in plan:
+            owned = int(counts[lo:hi].sum())
+            # A range may only exceed the cap when shrinking it further is
+            # impossible (a single entity already exceeds it on its own).
+            assert owned <= max_pairs or hi - lo == 1
+
+    @given(collections)
+    @settings(max_examples=30)
+    def test_pair_counts_sum_to_total_comparisons(self, collection):
+        index = collection.entity_index
+        counts = pair_counts_by_entity(
+            ShardableIndex.from_entity_index(index)
+        )
+        assert int(counts.sum()) == index.total_comparisons

@@ -161,18 +161,46 @@ class TestEvaluate:
 
     def test_backend_selectable_and_equivalent(self, generated, tmp_path):
         outputs = {}
-        for backend in ("python", "vectorized"):
+        for backend, extra in (
+            ("python", []),
+            ("vectorized", []),
+            # workers=1 keeps the CLI test in-process; the pool path is
+            # covered by the conformance suite.
+            ("parallel", ["--workers", "1", "--shard-size", "64"]),
+        ):
             output = tmp_path / f"pairs-{backend}.csv"
             code = main(["evaluate",
                          "--left", str(generated / "left.jsonl"),
                          "--right", str(generated / "right.jsonl"),
                          "--ground-truth", str(generated / "ground_truth.csv"),
                          "--backend", backend,
-                         "--output", str(output)])
+                         "--output", str(output), *extra])
             assert code == 0
             with output.open() as handle:
                 outputs[backend] = sorted(csv.reader(handle))
         assert outputs["python"] == outputs["vectorized"]
+        assert outputs["python"] == outputs["parallel"]
+
+    def test_invalid_workers_reported_as_error(self, generated, capsys):
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--backend", "parallel", "--workers", "0"])
+        assert code == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_workers_without_parallel_backend_is_an_error(self, generated,
+                                                          capsys):
+        # Not silently serial: the knob only exists on the parallel
+        # backend, so forgetting --backend parallel must fail loudly.
+        code = main(["evaluate",
+                     "--left", str(generated / "left.jsonl"),
+                     "--right", str(generated / "right.jsonl"),
+                     "--ground-truth", str(generated / "ground_truth.csv"),
+                     "--workers", "4"])
+        assert code == 1
+        assert "parallel" in capsys.readouterr().err
 
     def test_unknown_backend_rejected(self, generated):
         with pytest.raises(SystemExit):

@@ -34,6 +34,13 @@ class TestBlastConfig:
         {"pruning_c": 0.0},
         {"pruning_d": -1.0},
         {"weighting": "tf-idf"},
+        {"backend": ""},
+        {"workers": 0},
+        {"workers": -2},
+        {"shard_size": 0},
+        # valid knob values, but meaningless without the parallel backend
+        {"workers": 2},
+        {"backend": "vectorized", "shard_size": 100},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
@@ -55,6 +62,11 @@ class TestBlastConfig:
         config = BlastConfig(purging_ratio=1.0, filtering_ratio=1.0,
                              alpha=1.0, min_token_length=1)
         assert config.purging_ratio == 1.0
+
+    def test_parallel_knobs_accepted(self):
+        config = BlastConfig(backend="parallel", workers=4, shard_size=1000)
+        assert config.workers == 4
+        assert config.backend_options() == {"workers": 4, "shard_size": 1000}
 
     def test_frozen(self):
         config = BlastConfig()

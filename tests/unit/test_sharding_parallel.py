@@ -1,0 +1,263 @@
+"""Unit tests: entity-range sharding and the parallel backend's plumbing.
+
+The equivalence contract itself is enforced exhaustively by the
+conformance matrix (tests/conformance) and the shard-invariance property
+suite (tests/property/test_prop_parallel.py); these tests pin the
+building blocks — enumeration, planning, options validation, fallback —
+on small hand-checked inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocking.base import build_blocks
+from repro.core import BlastConfig
+from repro.graph import MetaBlocker, WeightingScheme
+from repro.graph.blocking_graph import BlockingGraph
+from repro.graph.metablocking import reference_metablocking
+from repro.graph.parallel import (
+    merge_shards,
+    parallel_metablocking,
+    resolve_workers,
+)
+from repro.graph.pruning import BlastPruning, PruningScheme
+from repro.graph.sharding import (
+    ShardableIndex,
+    enumerate_shard_pairs,
+    pair_counts_by_entity,
+    plan_shards,
+    shard_edge_arrays,
+)
+from repro.graph.vectorized import vectorized_metablocking
+
+
+@pytest.fixture
+def dirty_blocks():
+    return build_blocks(
+        {"a": {0, 1, 2}, "b": {1, 2, 3}, "c": {0, 3}, "d": {2, 3, 4}},
+        is_clean_clean=False,
+    )
+
+
+@pytest.fixture
+def clean_blocks():
+    return build_blocks(
+        {"a": ({0, 1}, {3, 4}), "b": ({1, 2}, {4}), "c": ({0}, {3, 5})},
+        is_clean_clean=True,
+    )
+
+
+class TestEnumeration:
+    def test_full_range_equals_entity_index(self, dirty_blocks, clean_blocks):
+        for blocks in (dirty_blocks, clean_blocks):
+            index = blocks.entity_index
+            slim = ShardableIndex.from_entity_index(index)
+            expected = index.enumerate_pairs()
+            actual = enumerate_shard_pairs(slim, 0, slim.num_ids)
+            for got, want in zip(actual, expected):
+                assert np.array_equal(got, want)
+
+    def test_shards_partition_the_pairs(self, dirty_blocks, clean_blocks):
+        for blocks in (dirty_blocks, clean_blocks):
+            slim = ShardableIndex.from_entity_index(blocks.entity_index)
+            full_src, full_dst, _ = enumerate_shard_pairs(slim, 0, slim.num_ids)
+            full = sorted(zip(full_src.tolist(), full_dst.tolist()))
+            pieces = []
+            for lo, hi in plan_shards(slim, num_shards=3):
+                src, dst, _ = enumerate_shard_pairs(slim, lo, hi)
+                assert np.all((src >= lo) & (src < hi))
+                pieces.extend(zip(src.tolist(), dst.tolist()))
+            assert sorted(pieces) == full
+
+    def test_empty_range_yields_no_pairs(self, dirty_blocks):
+        slim = ShardableIndex.from_entity_index(dirty_blocks.entity_index)
+        src, dst, pair_block = enumerate_shard_pairs(slim, 2, 2)
+        assert src.size == dst.size == pair_block.size == 0
+
+
+class TestPairCounts:
+    def test_counts_sum_to_aggregate_cardinality(
+        self, dirty_blocks, clean_blocks
+    ):
+        for blocks in (dirty_blocks, clean_blocks):
+            index = blocks.entity_index
+            counts = pair_counts_by_entity(
+                ShardableIndex.from_entity_index(index)
+            )
+            assert int(counts.sum()) == index.total_comparisons
+
+    def test_clean_clean_right_side_owns_nothing(self, clean_blocks):
+        counts = pair_counts_by_entity(
+            ShardableIndex.from_entity_index(clean_blocks.entity_index)
+        )
+        # E2 ids (3, 4, 5) never appear as src.
+        assert counts[3] == counts[4] == counts[5] == 0
+
+
+class TestPlanner:
+    def test_single_shard_covers_everything(self, dirty_blocks):
+        slim = ShardableIndex.from_entity_index(dirty_blocks.entity_index)
+        assert plan_shards(slim) == [(0, slim.num_ids)]
+
+    def test_requested_shard_count_is_an_upper_bound(self, dirty_blocks):
+        slim = ShardableIndex.from_entity_index(dirty_blocks.entity_index)
+        plan = plan_shards(slim, num_shards=3)
+        assert 1 <= len(plan) <= 3
+        assert plan[0][0] == 0 and plan[-1][1] == slim.num_ids
+
+    def test_invalid_arguments_rejected(self, dirty_blocks):
+        slim = ShardableIndex.from_entity_index(dirty_blocks.entity_index)
+        with pytest.raises(ValueError, match="num_shards"):
+            plan_shards(slim, num_shards=0)
+        with pytest.raises(ValueError, match="max_pairs"):
+            plan_shards(slim, max_pairs=0)
+
+    def test_accepts_a_raw_entity_index(self, dirty_blocks):
+        # Convenience: EntityIndex (not just ShardableIndex) works too.
+        plan = plan_shards(dirty_blocks.entity_index, num_shards=2)
+        assert plan[0][0] == 0
+
+
+class TestShardEdges:
+    def test_masses_are_opt_in(self, dirty_blocks):
+        slim = ShardableIndex.from_entity_index(dirty_blocks.entity_index)
+        bare = shard_edge_arrays(slim, 0, slim.num_ids)
+        assert bare.arcs_mass is None and bare.entropy_mass is None
+        full = shard_edge_arrays(
+            slim,
+            0,
+            slim.num_ids,
+            need_arcs=True,
+            block_entropies=np.ones(slim.num_blocks),
+        )
+        assert full.arcs_mass is not None and full.entropy_mass is not None
+        assert full.num_edges == bare.num_edges
+
+    def test_merge_of_no_shards_is_empty(self):
+        merged = merge_shards([])
+        assert merged.num_edges == 0
+
+
+class TestResolveWorkers:
+    def test_default_is_cpu_count(self):
+        import os
+
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(5) == 5
+
+    def test_non_positive_rejected_like_the_config(self):
+        # Same contract at every layer: positive or None (BlastConfig
+        # rejects 0 too, so backend_options can never smuggle it in).
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(-1)
+
+
+class TestParallelBackend:
+    def test_invalid_shard_size_rejected(self, dirty_blocks):
+        with pytest.raises(ValueError, match="shard_size"):
+            parallel_metablocking(
+                dirty_blocks, pruning=BlastPruning(), shard_size=0
+            )
+
+    def test_empty_collection(self):
+        empty = build_blocks({}, is_clean_clean=False)
+        assert parallel_metablocking(
+            empty, pruning=BlastPruning(), workers=1
+        ) == []
+
+    @pytest.mark.parametrize("plan", [
+        [],                      # nothing covered
+        [(0, 3)],                # stops short of the id space
+        [(0, 3), (2, 5)],        # overlap: would duplicate edges
+        [(0, 2), (3, 5)],        # gap: would drop edges
+        [(3, 2), (2, 5)],        # inverted range
+    ])
+    def test_corrupting_shard_plans_rejected(self, dirty_blocks, plan):
+        # dirty_blocks spans profile ids 0..4, so num_ids is 5 and every
+        # parametrized plan above fails to tile [0, 5) contiguously.
+        assert dirty_blocks.entity_index.node_block_counts.size == 5
+        with pytest.raises(ValueError, match="shard_plan"):
+            parallel_metablocking(
+                dirty_blocks, pruning=BlastPruning(), workers=1,
+                shard_plan=plan,
+            )
+
+    def test_custom_pruning_falls_back_to_reference(self, dirty_blocks):
+        class TopOne(PruningScheme):
+            def prune(self, graph, weights):
+                best = max(weights, key=lambda e: (weights[e], e))
+                return {best}
+
+        assert parallel_metablocking(
+            dirty_blocks, pruning=TopOne(), workers=1
+        ) == reference_metablocking(dirty_blocks, pruning=TopOne())
+
+    def test_custom_weighting_falls_back_to_reference(self, dirty_blocks):
+        def inverse_degree(graph: BlockingGraph):
+            return {
+                edge: 1.0 / (graph.degrees[edge[0]] + graph.degrees[edge[1]])
+                for edge, _ in graph.edges()
+            }
+
+        assert parallel_metablocking(
+            dirty_blocks, weighting=inverse_degree, pruning=BlastPruning(),
+            workers=1,
+        ) == reference_metablocking(
+            dirty_blocks, weighting=inverse_degree, pruning=BlastPruning()
+        )
+
+    def test_scheme_accepted_by_name(self, dirty_blocks):
+        assert parallel_metablocking(
+            dirty_blocks, weighting="cbs", pruning=BlastPruning(), workers=1
+        ) == vectorized_metablocking(
+            dirty_blocks, weighting="cbs", pruning=BlastPruning()
+        )
+
+    def test_worker_pool_matches_serial(self, dirty_blocks):
+        serial = vectorized_metablocking(
+            dirty_blocks, weighting=WeightingScheme.CHI_H,
+            pruning=BlastPruning(),
+        )
+        pooled = parallel_metablocking(
+            dirty_blocks, weighting=WeightingScheme.CHI_H,
+            pruning=BlastPruning(), workers=2, shard_size=2,
+        )
+        assert pooled == serial
+
+
+class TestMetaBlockerIntegration:
+    def test_backend_options_flow_through(self, dirty_blocks):
+        meta = MetaBlocker(
+            backend="parallel",
+            backend_options={"workers": 1, "shard_size": 3},
+        )
+        assert meta.run(dirty_blocks).distinct_pairs() == MetaBlocker(
+            backend="vectorized"
+        ).run(dirty_blocks).distinct_pairs()
+
+    def test_config_derives_parallel_options(self):
+        config = BlastConfig(backend="parallel", workers=2, shard_size=100)
+        assert config.backend_options() == {"workers": 2, "shard_size": 100}
+
+    def test_knobs_rejected_for_serial_backends(self):
+        # Silently ignoring --workers on a serial backend would let users
+        # believe they run parallel; the config refuses instead.
+        with pytest.raises(ValueError, match="serial"):
+            BlastConfig(backend="vectorized", workers=2)
+        with pytest.raises(ValueError, match="serial"):
+            BlastConfig(backend="python", shard_size=100)
+
+    def test_knobs_forwarded_to_custom_backends(self):
+        # A registered non-built-in backend may accept execution knobs;
+        # the config passes them through instead of rejecting them.
+        config = BlastConfig(backend="my-cluster", workers=8, shard_size=10)
+        assert config.backend_options() == {"workers": 8, "shard_size": 10}
+
+    def test_options_omit_unset_knobs(self):
+        assert BlastConfig(backend="parallel").backend_options() == {}
