@@ -1,0 +1,108 @@
+"""Argument parsing and exit-code policy for ``repro lint``.
+
+Kept separate from :mod:`repro.cli` so ``python -m repro.analysis`` works
+without importing the pipeline (and its numpy dependency): the analyzer
+is pure stdlib and must stay runnable in minimal CI environments.
+:mod:`repro.cli` mounts the same arguments on its ``lint`` subcommand via
+:func:`configure_parser` / :func:`execute`.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage error or missing path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import default_rules
+
+__all__ = ["build_parser", "configure_parser", "execute", "run"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Add the ``repro lint`` arguments to *parser* (standalone or subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. RL001,RL005)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (code, name, invariant) and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "repro-lint: static contract checks for determinism, dtype, "
+            "registry, and picklability invariants (see DESIGN.md "
+            "'Static guarantees')"
+        ),
+    )
+    configure_parser(parser)
+    return parser
+
+
+def _split_codes(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [code.strip() for code in value.split(",") if code.strip()]
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Run the lint with parsed arguments; returns the process exit code."""
+    rules = default_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    missing = [str(path) for path in args.paths if not path.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(
+        rules,
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore),
+    )
+    findings = engine.lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(findings, rules))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def run(argv: list[str] | None = None) -> int:
+    """Lint the requested paths; returns the process exit code."""
+    return execute(build_parser().parse_args(argv))

@@ -1,0 +1,183 @@
+"""The lint engine: file walking, parsing, suppressions, rule dispatch.
+
+One :class:`LintEngine` holds a rule set (``repro.analysis.rules``); it
+parses each python file once and runs every rule's AST visitor over the
+tree.  Findings are plain sortable records — ``(path, line, col, code,
+message)`` — so reporters, tests, and the CI gate all consume the same
+shape.
+
+Suppressions follow the familiar ``noqa`` model, but must name the code
+they silence (a blanket waiver would defeat the contract)::
+
+    pairs = list(seen)   # repro-lint: disable=RL001  -- proven order-free
+    # repro-lint: disable-next=RL002
+    raw = np.array(rows)
+
+``disable=RL001,RL005`` silences several codes on one line; ``disable``
+applies to its own line, ``disable-next`` to the line below (for lines
+with no room left).  An unparseable file yields a single ``RL000``
+finding rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.rules import default_rules
+from repro.analysis.rules.base import FileContext, LintRule
+
+__all__ = ["Finding", "LintEngine", "lint_paths"]
+
+#: Code reserved for files the engine could not parse.
+PARSE_ERROR_CODE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location (sortable, hashable)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> codes suppressed there (1-based, like findings)."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        target = lineno + 1 if match.group("kind") == "disable-next" else lineno
+        codes = {code.strip() for code in match.group("codes").split(",")}
+        out.setdefault(target, set()).update(codes)
+    return {line: frozenset(codes) for line, codes in out.items()}
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(path.rglob("*.py"))
+        else:
+            collected.append(path)
+    for path in sorted(collected):
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            yield path
+
+
+class LintEngine:
+    """Run a rule set over source files and collect :class:`Finding`s.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; defaults to
+        :func:`repro.analysis.rules.default_rules` (RL001–RL005).
+    select / ignore:
+        Optional code filters applied after the run — ``select`` keeps
+        only the named codes, ``ignore`` drops them (``RL000`` parse
+        errors always survive ``select``: a file that cannot be parsed
+        cannot be vouched for).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[LintRule] | None = None,
+        *,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> None:
+        self.rules: tuple[LintRule, ...] = tuple(
+            default_rules() if rules is None else rules
+        )
+        self._select = frozenset(select) if select is not None else None
+        self._ignore = frozenset(ignore or ())
+
+    def _wanted(self, code: str) -> bool:
+        if code in self._ignore:
+            return False
+        if self._select is not None:
+            return code == PARSE_ERROR_CODE or code in self._select
+        return True
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one in-memory module; the workhorse every entry point uses."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            finding = Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse file: {exc.msg}",
+            )
+            return [finding] if self._wanted(PARSE_ERROR_CODE) else []
+
+        context = FileContext(path=path, source=source, tree=tree)
+        findings: list[Finding] = []
+        for rule in self.rules:
+            for raw in rule.run(context):
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=raw.line,
+                        col=raw.col,
+                        code=rule.code,
+                        message=raw.message,
+                    )
+                )
+
+        suppressed = _suppressions(source)
+        findings = [
+            finding
+            for finding in findings
+            if self._wanted(finding.code)
+            and finding.code not in suppressed.get(finding.line, frozenset())
+        ]
+        return sorted(findings)
+
+    def lint_file(self, path: Path) -> list[Finding]:
+        """Lint one file on disk."""
+        return self.lint_source(
+            path.read_text(encoding="utf-8"), path=str(path)
+        )
+
+    def lint_paths(self, paths: Iterable[Path | str]) -> list[Finding]:
+        """Lint files and/or directories (recursively), sorted by location."""
+        findings: list[Finding] = []
+        for path in _iter_python_files(Path(p) for p in paths):
+            findings.extend(self.lint_file(path))
+        return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    rules: Sequence[LintRule] | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Convenience wrapper: one-shot engine over *paths*."""
+    engine = LintEngine(rules, select=select, ignore=ignore)
+    return engine.lint_paths(paths)

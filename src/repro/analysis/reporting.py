@@ -1,0 +1,66 @@
+"""Reporters: findings -> text for humans, JSON for machines.
+
+The JSON document is versioned (``schema_version``) so CI consumers can
+detect shape changes; ``tests/analysis`` pins the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.engine import Finding
+from repro.analysis.rules.base import LintRule
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]
+
+#: Bump when the JSON document shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding, plus a tally."""
+    lines = [finding.render() for finding in findings]
+    count = len(findings)
+    lines.append(
+        "no contract violations found"
+        if count == 0
+        else f"found {count} contract violation{'s' if count != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    rules: Sequence[LintRule] | None = None,
+) -> str:
+    """The machine-readable report (stable key order, schema-versioned)."""
+    by_code: dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "by_code": dict(sorted(by_code.items())),
+        },
+        "rules": [
+            {
+                "code": rule.code,
+                "name": rule.name,
+                "rationale": rule.rationale,
+            }
+            for rule in (rules or [])
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -1,0 +1,191 @@
+"""RL001/RL005 — unordered iteration and float accumulation contracts.
+
+Set iteration order is an implementation detail of CPython's hash table:
+it varies with insertion history for ints (collision probing) and with
+``PYTHONHASHSEED`` for strings.  Any set iteration that flows into an
+*ordered* output — a list, a yielded pair stream, a joined string, an
+array — therefore produces results that can differ between runs and
+platforms while passing every local test.  RL001 demands ``sorted()`` at
+those boundaries.
+
+Float addition is not associative, so even an order-*insensitive*
+consumer is unsafe when the values are floats: ``sum()`` over a set
+rounds differently per iteration order, which is exactly the class of
+last-bit drift the conformance matrix exists to rule out.  RL005 demands
+``math.fsum`` (exactly rounded, order-independent) or sorting before a
+float accumulation over an unordered collection.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import LintRule
+
+__all__ = ["FloatAccumulationRule", "UnorderedIterationRule"]
+
+#: Call targets that materialize their argument's iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+#: Call targets for which a generator argument's order is immaterial.
+_ORDER_FREE_CALLS = frozenset(
+    {"set", "frozenset", "sum", "len", "any", "all", "min", "max", "dict",
+     "sorted", "fsum", "Counter"}
+)
+
+#: numpy constructors that freeze iteration order into an array.
+_ARRAY_CONSTRUCTORS = frozenset({"array", "asarray", "fromiter"})
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class UnorderedIterationRule(LintRule):
+    """RL001: set iteration flowing into an ordered output without sorted()."""
+
+    code = "RL001"
+    name = "unordered-set-iteration"
+    rationale = (
+        "set/frozenset iteration order is arbitrary (insertion- and "
+        "hash-seed-dependent); materializing it into a list, tuple, "
+        "joined string, array, or yielded stream makes output "
+        "order-nondeterministic across runs and platforms — wrap the "
+        "set in sorted() at the boundary"
+    )
+
+    _MESSAGE = (
+        "iterating an unordered set into an ordered {sink}; wrap the set "
+        "in sorted() to pin the order"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _called_name(node.func)
+        if (
+            name in _ORDER_SENSITIVE_CALLS or name in _ARRAY_CONSTRUCTORS
+        ) and node.args:
+            target = node.args[0]
+            if self.is_set_expr(target):
+                sink = "array" if name in _ARRAY_CONSTRUCTORS else f"{name}()"
+                self.report(node, self._MESSAGE.format(sink=sink))
+            elif isinstance(target, ast.GeneratorExp) and self._genexp_over_set(
+                target
+            ):
+                sink = "array" if name in _ARRAY_CONSTRUCTORS else f"{name}()"
+                self.report(node, self._MESSAGE.format(sink=sink))
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            target = node.args[0]
+            if self.is_set_expr(target) or (
+                isinstance(target, ast.GeneratorExp)
+                and self._genexp_over_set(target)
+            ):
+                self.report(node, self._MESSAGE.format(sink="joined string"))
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for comp in node.generators:
+            if self.is_set_expr(comp.iter):
+                self.report(
+                    node, self._MESSAGE.format(sink="list comprehension")
+                )
+                break
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if self.is_set_expr(node.value):
+            self.report(node, self._MESSAGE.format(sink="yielded stream"))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.is_set_expr(node.iter):
+            sink = self._ordered_sink_in(node.body)
+            if sink is not None:
+                self.report(node, self._MESSAGE.format(sink=sink))
+        self.generic_visit(node)
+
+    def _genexp_over_set(self, node: ast.GeneratorExp) -> bool:
+        return any(self.is_set_expr(comp.iter) for comp in node.generators)
+
+    def _ordered_sink_in(self, body: list[ast.stmt]) -> str | None:
+        """An order-sensitive operation in a loop body, if any.
+
+        Only yields and list mutations count — loops that update sets,
+        dicts, or counters keyed by the element are order-insensitive and
+        stay silent.  Nested function definitions are their own world.
+        """
+        stack: list[ast.AST] = list(body)
+        while stack:
+            sub = stack.pop()
+            if isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return "yielded stream"
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("append", "extend", "insert")
+            ):
+                return f"list .{sub.func.attr}()"
+            stack.extend(ast.iter_child_nodes(sub))
+        return None
+
+
+class FloatAccumulationRule(LintRule):
+    """RL005: float accumulation over an unordered collection."""
+
+    code = "RL005"
+    name = "order-dependent-float-sum"
+    rationale = (
+        "float addition is not associative: sum() over a set rounds "
+        "differently depending on the iteration order, so the result can "
+        "drift in the last bit between runs and platforms — use "
+        "math.fsum (exactly rounded, order-independent), a dtype-pinned "
+        "np.sum over a sorted array, or sort the set first"
+    )
+
+    _MESSAGE = (
+        "sum() over an unordered set is order-dependent for floats; use "
+        "math.fsum(...) or sort the iterable first"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+            and node.args
+        ):
+            target = node.args[0]
+            if self.is_set_expr(target):
+                self.report(node, self._MESSAGE)
+            elif isinstance(target, ast.GeneratorExp):
+                over_set = any(
+                    self.is_set_expr(comp.iter) for comp in target.generators
+                )
+                if over_set and not self._element_is_integral(target.elt):
+                    self.report(node, self._MESSAGE)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _element_is_integral(elt: ast.expr) -> bool:
+        """Whether the summed element is provably an int (order-free).
+
+        ``len(...)`` calls, integer literals, and boolean tests cover the
+        common counting patterns; anything else is assumed float.
+        """
+        if isinstance(elt, ast.Call):
+            return (
+                isinstance(elt.func, ast.Name) and elt.func.id == "len"
+            )
+        if isinstance(elt, ast.Constant):
+            return isinstance(elt.value, int)
+        return isinstance(elt, (ast.Compare, ast.BoolOp))

@@ -1,0 +1,108 @@
+"""RL002 — numpy dtype discipline on the CSR hot path.
+
+The CSR arrays (``block_ptr``/``entity_ids``/``token_ids`` and the edge
+arrays) are the currency every backend trades in; the conformance matrix
+compares them bit for bit.  Two numpy defaults silently break that on
+other platforms:
+
+* value-inferred integer dtypes — ``np.array([1, 2])`` and a bare
+  ``np.arange(n)`` default to the platform C ``long``: 64-bit on
+  Linux/macOS, **32-bit on Windows** — so index arithmetic that is exact
+  on the dev box can overflow (or just hash/concatenate differently)
+  elsewhere;
+* the builtin ``int``/``np.int_`` as an explicit dtype, which pins the
+  same platform-dependent width on purpose-looking code.
+
+RL002 therefore requires ``np.array``/``np.asarray``/``np.fromiter``/
+``np.arange`` calls to pass an explicit ``dtype=`` and forbids
+platform-width integer dtypes (builtin ``int``, ``np.int_``, ``np.intc``,
+``np.long``, ``"int"``) everywhere, including ``.astype(...)``.
+``dtype=float``/``np.float64``/``bool`` are allowed — they are the same
+width on every supported platform.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import LintRule
+
+__all__ = ["DtypeDisciplineRule"]
+
+#: Constructors whose *integer* default dtype is the platform C long.
+_INFERRING_CONSTRUCTORS = frozenset({"array", "asarray", "fromiter", "arange"})
+
+#: Dtype spellings whose width differs across platforms.
+_PLATFORM_WIDTH_NAMES = frozenset({"int_", "intc", "long", "uint", "ulong"})
+
+
+class DtypeDisciplineRule(LintRule):
+    """RL002: explicit, platform-stable dtypes on numpy constructors."""
+
+    code = "RL002"
+    name = "unpinned-numpy-dtype"
+    rationale = (
+        "np.array/np.asarray/np.fromiter/np.arange infer integer dtypes "
+        "as the platform C long (32-bit on Windows, 64-bit elsewhere), "
+        "and dtype=int/np.int_ pins that same platform-dependent width "
+        "explicitly — CSR and edge arrays must name a fixed-width dtype "
+        "(np.int32/np.int64/np.float64) so results are bit-identical "
+        "everywhere"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+            and func.attr in _INFERRING_CONSTRUCTORS
+        ):
+            dtype = self._dtype_argument(node)
+            if dtype is None:
+                self.report(
+                    node,
+                    f"np.{func.attr}(...) without an explicit dtype= infers "
+                    "the platform C long for integers; pin a fixed-width "
+                    "dtype (e.g. np.int64)",
+                )
+            else:
+                self._check_dtype_value(node, dtype)
+        elif isinstance(func, ast.Attribute) and func.attr == "astype":
+            if node.args:
+                self._check_dtype_value(node, node.args[0])
+            dtype = self._dtype_argument(node)
+            if dtype is not None:
+                self._check_dtype_value(node, dtype)
+        else:
+            dtype = self._dtype_argument(node)
+            if dtype is not None:
+                self._check_dtype_value(node, dtype)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _dtype_argument(node: ast.Call) -> ast.expr | None:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                return keyword.value
+        return None
+
+    def _check_dtype_value(self, node: ast.Call, dtype: ast.expr) -> None:
+        platform_width = (
+            (isinstance(dtype, ast.Name) and dtype.id == "int")
+            or (
+                isinstance(dtype, ast.Attribute)
+                and dtype.attr in _PLATFORM_WIDTH_NAMES
+            )
+            or (
+                isinstance(dtype, ast.Constant)
+                and dtype.value in ("int", "long", "uint")
+            )
+        )
+        if platform_width:
+            self.report(
+                node,
+                "platform-width integer dtype (builtin int / np.int_ is the "
+                "C long: 32-bit on Windows); use a fixed-width dtype such "
+                "as np.int32 or np.int64",
+            )

@@ -1,0 +1,147 @@
+"""RL004 — objects shipped to worker processes must be picklable.
+
+The ``parallel`` backend (graph/parallel.py) ships work to a
+``multiprocessing.Pool``.  Under the ``fork`` start method almost
+anything appears to work; under ``spawn`` (Windows, macOS default) every
+task function, initializer, and initarg travels by pickle — and lambdas,
+functions nested inside other functions, and locally-defined classes do
+not pickle.  Code that passes them runs fine on the dev box and raises
+``PicklingError`` on the platforms the conformance matrix cannot reach.
+
+RL004 flags, in any module that imports ``multiprocessing`` (or the
+process pools of ``concurrent.futures``):
+
+* lambdas or locally-defined functions/classes passed to pool dispatch
+  methods (``map``/``imap``/``imap_unordered``/``starmap``/``apply``/
+  ``apply_async``/``starmap_async``/``map_async``/``submit``);
+* lambdas or local definitions as ``initializer=``, ``target=``, or
+  inside ``initargs=``/``args=`` of pool/process constructors.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import FileContext, LintRule, RawFinding
+
+__all__ = ["PicklabilityRule"]
+
+_DISPATCH_METHODS = frozenset(
+    {
+        "map",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "map_async",
+        "apply",
+        "apply_async",
+        "submit",
+    }
+)
+
+_PAYLOAD_KEYWORDS = frozenset({"initializer", "target", "func"})
+_PAYLOAD_TUPLE_KEYWORDS = frozenset({"initargs", "args"})
+
+_MP_MODULES = ("multiprocessing", "concurrent.futures", "concurrent")
+
+
+class PicklabilityRule(LintRule):
+    """RL004: no lambdas/local defs in multiprocessing payloads."""
+
+    code = "RL004"
+    name = "unpicklable-worker-payload"
+    rationale = (
+        "under the spawn start method (Windows, macOS default) pool task "
+        "functions, initializers and their arguments travel by pickle; "
+        "lambdas, nested functions, and locally-defined classes do not "
+        "pickle, so they work under fork on the dev box and raise "
+        "PicklingError everywhere else — ship module-level functions and "
+        "classes to workers"
+    )
+
+    def run(self, context: FileContext) -> list[RawFinding]:
+        self._uses_multiprocessing = any(
+            isinstance(stmt, (ast.Import, ast.ImportFrom))
+            and self._imports_mp(stmt)
+            for stmt in ast.walk(context.tree)
+        )
+        self._local_definitions: list[set[str]] = []
+        return super().run(context)
+
+    @staticmethod
+    def _imports_mp(stmt: ast.Import | ast.ImportFrom) -> bool:
+        if isinstance(stmt, ast.Import):
+            return any(
+                alias.name.split(".")[0] == "multiprocessing"
+                or alias.name.startswith("concurrent")
+                for alias in stmt.names
+            )
+        module = stmt.module or ""
+        return module.split(".")[0] in ("multiprocessing", "concurrent")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Names defined *inside* this function are process-local: they
+        # cannot be imported by a worker, hence cannot unpickle.
+        local = {
+            stmt.name
+            for stmt in ast.walk(node)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and stmt is not node
+        }
+        self._local_definitions.append(local)
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._scopes.pop()
+        self._local_definitions.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._uses_multiprocessing:
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+                and node.args
+            ):
+                self._check_payload(node.args[0], node.func.attr)
+            for keyword in node.keywords:
+                if keyword.arg in _PAYLOAD_KEYWORDS:
+                    self._check_payload(keyword.value, keyword.arg + "=")
+                elif keyword.arg in _PAYLOAD_TUPLE_KEYWORDS and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    for element in keyword.value.elts:
+                        self._check_payload(element, keyword.arg + "=")
+        self.generic_visit(node)
+
+    def _check_payload(self, payload: ast.expr, where: str) -> None:
+        if isinstance(payload, ast.Lambda):
+            self.report(
+                payload,
+                f"lambda passed to a worker pool ({where}); lambdas do not "
+                "pickle under spawn — use a module-level function",
+            )
+        elif isinstance(payload, ast.Name) and self._is_local(payload.id):
+            self.report(
+                payload,
+                f"locally-defined {payload.id!r} passed to a worker pool "
+                f"({where}); nested definitions do not pickle under spawn "
+                "— move it to module level",
+            )
+        elif (
+            isinstance(payload, ast.Call)
+            and isinstance(payload.func, ast.Name)
+            and self._is_local(payload.func.id)
+        ):
+            # An *instance* of a locally-defined class pickles by class
+            # reference, which workers cannot import either.
+            self.report(
+                payload,
+                f"instance of locally-defined {payload.func.id!r} passed to "
+                f"a worker pool ({where}); local classes do not pickle under "
+                "spawn — move the class to module level",
+            )
+
+    def _is_local(self, name: str) -> bool:
+        return any(name in local for local in self._local_definitions)

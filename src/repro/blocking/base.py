@@ -60,14 +60,19 @@ class Block:
         return n * (n - 1) // 2
 
     def iter_pairs(self) -> Iterator[tuple[int, int]]:
-        """Yield the comparison pairs as canonical ``(i, j)`` with ``i < j``.
+        """Yield the comparison pairs as canonical ``(i, j)`` with ``i < j``,
+        in lexicographic order.
 
         For clean-clean blocks global indexing already guarantees every E1
-        index is smaller than every E2 index.
+        index is smaller than every E2 index.  Both member sets are sorted
+        before iteration (RL001): frozenset order depends on insertion
+        history, so yielding raw set order would stream the same block's
+        pairs differently between equal collections built along different
+        paths (e.g. batch vs snapshot-restored).
         """
         if self.right is not None:
-            for i in self.left:
-                for j in self.right:
+            for i in sorted(self.left):
+                for j in sorted(self.right):
                     yield (i, j)
         else:
             for i, j in itertools.combinations(sorted(self.left), 2):

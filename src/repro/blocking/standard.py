@@ -109,7 +109,7 @@ class StandardBlocking:
             if not wanted:
                 continue
             mask = np.isin(
-                corpus.attr_ids, np.fromiter(wanted, dtype=np.int32)
+                corpus.attr_ids, np.fromiter(sorted(wanted), dtype=np.int32)
             )
             mask &= lengths_ok
             row_chunks.append(corpus.occurrence_rows[mask])

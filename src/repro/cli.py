@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run      --left a.jsonl --right b.jsonl --output pairs.csv
     python -m repro evaluate --left a.jsonl --right b.jsonl \
                              --ground-truth gt.csv
     python -m repro generate --dataset ar1 --outdir data/
     python -m repro stream   --input stream.jsonl --output matches.jsonl
+    python -m repro lint     src/
 
 ``run`` executes the BLAST pipeline and writes the candidate pairs;
 ``evaluate`` additionally scores them against a ground truth; ``generate``
@@ -14,7 +15,9 @@ materializes one of the built-in benchmark datasets as JSONL + CSV so the
 other two commands (and external tools) can consume it; ``stream`` replays
 a JSON-lines profile stream (``.gz`` transparently) through the
 incremental subsystem and emits each arrival's retained candidates as they
-are computed.
+are computed; ``lint`` runs the repro-lint static contract checks of
+:mod:`repro.analysis` (also available dependency-free as ``python -m
+repro.analysis``).
 
 ``run``, ``evaluate`` and ``stream`` assemble their components from the
 registries: ``--blocker``, ``--weighting``, ``--pruning``, ``--backend``
@@ -33,6 +36,7 @@ from pathlib import Path
 import json
 import time
 
+from repro.analysis import cli as _lint_cli
 from repro.core import BlastConfig, build_pipeline
 from repro.core.registry import (
     BACKENDS,
@@ -152,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--no-query", action="store_true",
                         help="only build the index (bulk load / snapshot "
                              "warm-up); no candidates are computed")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run repro-lint static contract checks "
+             "(determinism/dtype/registry invariants; see DESIGN.md)")
+    _lint_cli.configure_parser(lint)
     return parser
 
 
@@ -383,7 +393,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     commands = {"run": _cmd_run, "evaluate": _cmd_evaluate,
-                "generate": _cmd_generate, "stream": _cmd_stream}
+                "generate": _cmd_generate, "stream": _cmd_stream,
+                "lint": _lint_cli.execute}
     try:
         return commands[args.command](args)
     except (OSError, ValueError) as exc:

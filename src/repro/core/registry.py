@@ -33,7 +33,12 @@ what the CLI and ``Blast.default_pipeline`` run.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
-from typing import Generic, TypeVar
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
+
+if TYPE_CHECKING:
+    from repro.graph.blocking_graph import Edge
+    from repro.streaming.index import IncrementalBlockIndex
+    from repro.streaming.views import ExactStreamView, FastStreamView
 
 from repro.core.config import BlastConfig
 from repro.core.stages import (
@@ -139,10 +144,12 @@ WEIGHTINGS: Registry[WeightingSpec] = Registry("weighting")
 PRUNERS: Registry[Callable[[BlastConfig], PruningScheme]] = Registry("pruning")
 #: Meta-blocking execution backends: ``name -> (collection, *, weighting,
 #: pruning, entropy_boost, key_entropy) -> list[Edge]`` (sorted edges).
-BACKENDS: Registry[Callable[..., list]] = Registry("backend")
+BACKENDS: Registry[Callable[..., list[Edge]]] = Registry("backend")
 #: Streaming query-view factories: ``name -> (IncrementalBlockIndex) ->
 #: view`` (the consistency modes of the streaming subsystem).
-STREAM_VIEWS: Registry[Callable] = Registry("stream view")
+STREAM_VIEWS: Registry[Callable[[IncrementalBlockIndex], Any]] = Registry(
+    "stream view"
+)
 
 register_blocker = BLOCKERS.register
 register_weighting = WEIGHTINGS.register
@@ -210,7 +217,7 @@ BACKENDS.register("parallel", parallel_metablocking)
 # --- built-in stream views --------------------------------------------------
 
 @register_stream_view("exact")
-def _exact_stream_view(index):
+def _exact_stream_view(index: IncrementalBlockIndex) -> ExactStreamView:
     """Batch-faithful view: lazy purging/filtering snapshot per version."""
     from repro.streaming.views import ExactStreamView
 
@@ -218,7 +225,7 @@ def _exact_stream_view(index):
 
 
 @register_stream_view("fast")
-def _fast_stream_view(index):
+def _fast_stream_view(index: IncrementalBlockIndex) -> FastStreamView:
     """Read-through view with incremental statistics (serving mode)."""
     from repro.streaming.views import FastStreamView
 

@@ -390,7 +390,9 @@ def _cnp_mask(
 
     num_edges = weights.size
     # Two incidences per edge: positions [0, E) are the src side.
-    edge_idx = np.concatenate((np.arange(num_edges), np.arange(num_edges)))
+    edge_idx = np.concatenate(
+        (np.arange(num_edges, dtype=np.int64), np.arange(num_edges, dtype=np.int64))
+    )
     nodes = np.concatenate((graph.src, graph.dst))
     order = np.lexsort(
         (graph.dst[edge_idx], graph.src[edge_idx], -weights[edge_idx], nodes)
@@ -400,7 +402,9 @@ def _cnp_mask(
         np.concatenate(([True], sorted_nodes[1:] != sorted_nodes[:-1]))
     )
     seg_lengths = np.diff(np.append(seg_starts, sorted_nodes.size))
-    rank = np.arange(sorted_nodes.size) - np.repeat(seg_starts, seg_lengths)
+    rank = np.arange(sorted_nodes.size, dtype=np.int64) - np.repeat(
+        seg_starts, seg_lengths
+    )
     top = order[rank < k]
 
     in_top_i = np.zeros(num_edges, dtype=bool)

@@ -122,7 +122,13 @@ def aggregate_entropies(
         if not members:
             out[cluster_id] = 0.0
             continue
-        out[cluster_id] = sum(entropies.get(ref, 0.0) for ref in members) / len(members)
+        # fsum, not sum (RL005): members is a frozenset whose iteration
+        # order follows PYTHONHASHSEED, so a left-to-right float sum could
+        # drift in the last bit between runs; fsum rounds exactly once,
+        # independent of term order.
+        out[cluster_id] = math.fsum(
+            entropies.get(ref, 0.0) for ref in members
+        ) / len(members)
     return out
 
 

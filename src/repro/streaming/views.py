@@ -317,6 +317,9 @@ class FastStreamView:
         max_comparisons = index.max_comparisons
         key_string = index.key_string
         active: list[tuple[int, str, int]] = []
+        # Append order is erased by the total-order active.sort() below:
+        # the (size, key string, kid) sort key has no ties.
+        # repro-lint: disable-next=RL001
         for kid in index.key_ids_of(node):
             posting = index.posting_by_id(kid)
             if posting.num_comparisons == 0:

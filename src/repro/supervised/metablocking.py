@@ -74,7 +74,7 @@ class SupervisedMetaBlocking:
         train_rows = [positive_rows[i] for i in pos_sample] + [
             negative_rows[i] for i in neg_sample
         ]
-        labels = np.array([1.0] * n_pos + [-1.0] * n_neg)
+        labels = np.array([1.0] * n_pos + [-1.0] * n_neg, dtype=np.float64)
 
         svm = LinearSVM(seed=self.seed)
         svm.fit(features[train_rows], labels)

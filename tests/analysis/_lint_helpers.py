@@ -1,0 +1,15 @@
+"""Shared helpers for the repro-lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Finding, LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint_fixture(name: str, **engine_kwargs) -> list[Finding]:
+    """Lint one fixture file with the default rule set."""
+    return LintEngine(**engine_kwargs).lint_file(FIXTURES / name)

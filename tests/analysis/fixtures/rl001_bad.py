@@ -1,0 +1,46 @@
+"""RL001 fixtures that MUST fire: set order flowing into ordered outputs."""
+
+
+def listed(seen: set[int]) -> list[int]:
+    return list(seen)  # RL001: list() over a set
+
+
+def comprehended() -> list[int]:
+    tokens = {1, 2, 3}
+    return [t * 2 for t in tokens]  # RL001: list comprehension over a set
+
+
+def joined(names: frozenset[str]) -> str:
+    return ",".join(names)  # RL001: join over a set
+
+
+def joined_genexp(names: set[str]) -> str:
+    return ",".join(n.upper() for n in names)  # RL001: join over a genexp
+
+
+def yielded(partitioning):
+    yield from partitioning.members(0)  # RL001: known set-returning method
+
+
+def appended(keys: set[str]) -> list[str]:
+    out: list[str] = []
+    for key in keys:  # RL001: loop body appends to a list
+        out.append(key)
+    return out
+
+
+def array_of(ids: set[int]):
+    import numpy as np
+
+    return np.fromiter(ids, dtype=np.int64)  # RL001: array from a set
+
+
+def union_listed(a: set[int], b):
+    return list(a | b)  # RL001: set-operator result into list()
+
+
+class Holder:
+    members: frozenset[int] = frozenset()
+
+    def dump(self) -> list[int]:
+        return list(self.members)  # RL001: annotated self attribute

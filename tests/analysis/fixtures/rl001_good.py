@@ -1,0 +1,43 @@
+"""RL001 fixtures that must stay SILENT: sorted or order-free consumption."""
+
+
+def listed(seen: set[int]) -> list[int]:
+    return sorted(seen)  # sorted() pins the order
+
+
+def counted(tokens: set[str]) -> int:
+    return len(tokens)  # order-free
+
+
+def membership(keys: set[str], key: str) -> bool:
+    return key in keys  # order-free
+
+
+def reduced(ids: set[int]) -> int:
+    return max(ids) - min(ids)  # order-free
+
+
+def re_set(ids: set[int]) -> frozenset[int]:
+    return frozenset(i * 2 for i in ids)  # unordered sink
+
+
+def mutation_only(old: set[int], new: set[int], postings: dict[int, int]) -> None:
+    for kid in old - new:  # loop body only mutates a dict: order-free
+        postings.pop(kid, None)
+    for kid in new - old:
+        postings[kid] = postings.get(kid, 0) + 1
+
+
+def dict_iteration(counts: dict[str, int]) -> list[str]:
+    return [k for k in counts]  # dicts preserve insertion order
+
+
+def sorted_loop(keys: frozenset[str]) -> list[str]:
+    out: list[str] = []
+    for key in sorted(keys):  # explicit sort before the ordered sink
+        out.append(key)
+    return out
+
+
+def int_sum(ids: set[int]) -> int:
+    return sum(len(str(i)) for i in ids)  # integral sum: order-free

@@ -1,0 +1,35 @@
+"""RL002 fixtures that MUST fire: unpinned / platform-width numpy dtypes."""
+
+import numpy as np
+
+
+def inferred_array(rows: list[int]):
+    return np.array(rows)  # RL002: integer dtype inferred as C long
+
+
+def inferred_asarray(rows: list[int]):
+    return np.asarray(rows)  # RL002
+
+
+def inferred_fromiter(rows: list[int]):
+    return np.fromiter(rows, count=len(rows))  # RL002
+
+
+def inferred_arange(n: int):
+    return np.arange(n)  # RL002: arange defaults to C long
+
+
+def builtin_int_dtype(rows: list[int]):
+    return np.array(rows, dtype=int)  # RL002: platform-width int
+
+
+def platform_astype(arr):
+    return arr.astype(int)  # RL002: platform-width int
+
+
+def np_intp_alias(rows: list[int]):
+    return np.array(rows, dtype=np.int_)  # RL002: np.int_ is the C long
+
+
+def string_int_dtype(n: int):
+    return np.zeros(n, dtype="int")  # RL002: string spelling of the C long

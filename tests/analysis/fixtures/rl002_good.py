@@ -1,0 +1,33 @@
+"""RL002 fixtures that must stay SILENT: pinned, fixed-width dtypes."""
+
+import numpy as np
+
+
+def pinned_array(rows: list[int]):
+    return np.array(rows, dtype=np.int32)
+
+
+def pinned_arange(n: int):
+    return np.arange(n, dtype=np.int64)
+
+
+def pinned_fromiter(rows: list[int]):
+    return np.fromiter(rows, dtype=np.int32, count=len(rows))
+
+
+def pinned_astype(arr):
+    return arr.astype(np.int64, copy=False)
+
+
+def float_dtype(rows: list[float]):
+    # builtin float is always IEEE float64; platform-stable.
+    return np.asarray(rows, dtype=float)
+
+
+def default_zeros(n: int):
+    # zeros/empty/full default to float64 on every platform.
+    return np.zeros(n)
+
+
+def bool_dtype(n: int):
+    return np.zeros(n, dtype=bool)

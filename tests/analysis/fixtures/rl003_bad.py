@@ -1,0 +1,35 @@
+"""RL003 fixtures that MUST fire: registered callables violating protocols."""
+
+from repro.core.registry import (
+    BACKENDS,
+    register_blocker,
+    register_pruning,
+    register_weighting,
+)
+
+
+@register_blocker("no-args")
+def blocker_without_config():  # RL003: must accept a BlastConfig
+    return None
+
+
+@register_blocker("too-many")
+def blocker_with_extras(config, corpus):  # RL003: extra required parameter
+    return None
+
+
+@register_weighting("kw-only")
+def weighting_with_required_kwonly(graph, *, alpha):  # RL003: required kw-only
+    return None
+
+
+@register_pruning("lambda-ish")
+def pruning_with_two(graph, threshold):  # RL003: extra required parameter
+    return None
+
+
+def backend_missing_keywords(config):
+    return None
+
+
+BACKENDS.register("bad-backend", backend_missing_keywords)  # RL003: no kw

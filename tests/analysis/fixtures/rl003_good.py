@@ -1,0 +1,40 @@
+"""RL003 fixtures that must stay SILENT: protocol-conforming registrations."""
+
+from repro.core.registry import (
+    BACKENDS,
+    register_blocker,
+    register_pruning,
+    register_weighting,
+)
+
+
+@register_blocker("plain")
+def blocker(config):
+    return None
+
+
+@register_blocker("defaulted")
+def blocker_with_defaults(config, *, expand=False):
+    return None
+
+
+@register_weighting("plain")
+def weighting(graph):
+    return None
+
+
+@register_pruning("plain")
+def pruning(graph, *, threshold=0.5):
+    return None
+
+
+def backend(corpus, *, weighting, pruning, entropy_boost, key_entropy):
+    return None
+
+
+def backend_kwargs(corpus, **kwargs):
+    return None
+
+
+BACKENDS.register("good-backend", backend)
+BACKENDS.register("kwargs-backend", backend_kwargs)

@@ -1,0 +1,30 @@
+"""RL004 fixtures that MUST fire: unpicklable multiprocessing payloads."""
+
+import multiprocessing
+
+
+def run_lambda(items: list[int]) -> list[int]:
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(lambda x: x + 1, items)  # RL004: lambda payload
+
+
+def run_nested(items: list[int]) -> list[int]:
+    def worker(x: int) -> int:  # local def: unpicklable under spawn
+        return x + 1
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, items)  # RL004: nested function payload
+
+
+def run_local_class(items: list[int]):
+    class Worker:  # local class: unpicklable under spawn
+        def __call__(self, x: int) -> int:
+            return x + 1
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(Worker(), items)  # RL004: local-class payload
+
+
+def run_lambda_initializer() -> None:
+    pool = multiprocessing.Pool(2, initializer=lambda: None)  # RL004
+    pool.close()

@@ -1,0 +1,26 @@
+"""RL004 fixtures that must stay SILENT: module-level picklable payloads."""
+
+import multiprocessing
+
+
+def _worker(x: int) -> int:
+    return x + 1
+
+
+def _init_state(seed: int) -> None:
+    del seed
+
+
+def run(items: list[int]) -> list[int]:
+    with multiprocessing.Pool(2, initializer=_init_state, initargs=(7,)) as pool:
+        return pool.map(_worker, items)
+
+
+def run_imap(items: list[int]) -> list[int]:
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap(_worker, items, chunksize=16))
+
+
+def plain_map(items: list[int]) -> list[int]:
+    # builtin map with a lambda is fine: nothing crosses a process boundary.
+    return list(map(lambda x: x + 1, items))

@@ -1,0 +1,18 @@
+"""RL005 fixtures that MUST fire: float accumulation over unordered input."""
+
+
+def summed(weights: set[float]) -> float:
+    return sum(weights)  # RL005: float sum over a set
+
+
+def summed_genexp(scores: frozenset[float]) -> float:
+    return sum(s * 0.5 for s in scores)  # RL005: float genexp over a set
+
+
+def summed_members(partitioning) -> float:
+    return sum(e.weight for e in partitioning.members(0))  # RL005
+
+
+def summed_local() -> float:
+    pending = {0.25, 0.5}
+    return sum(pending)  # RL005: local set variable

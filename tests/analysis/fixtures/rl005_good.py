@@ -1,0 +1,27 @@
+"""RL005 fixtures that must stay SILENT: order-independent accumulation."""
+
+import math
+
+
+def fsummed(weights: set[float]) -> float:
+    return math.fsum(weights)  # fsum is exactly rounded: order-free
+
+
+def fsummed_genexp(scores: frozenset[float]) -> float:
+    return math.fsum(s * 0.5 for s in scores)
+
+
+def sorted_sum(weights: set[float]) -> float:
+    return sum(sorted(weights))  # explicit order pin
+
+
+def int_count(ids: set[int]) -> int:
+    return sum(len(str(i)) for i in ids)  # integral: addition is associative
+
+
+def bool_count(flags: set[str], wanted: set[str]) -> int:
+    return sum(f in wanted for f in flags)  # integral (bools)
+
+
+def list_sum(weights: list[float]) -> float:
+    return sum(weights)  # ordered input: reproducible as-is

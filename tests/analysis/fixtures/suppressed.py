@@ -1,0 +1,21 @@
+"""Suppression fixtures: every finding here is silenced by a directive."""
+
+
+def same_line(seen: set[int]) -> list[int]:
+    return list(seen)  # repro-lint: disable=RL001
+
+
+def next_line(names: frozenset[str]) -> str:
+    # repro-lint: disable-next=RL001
+    return ",".join(names)
+
+
+def multi_code(weights: set[float]):
+    import numpy as np
+
+    # repro-lint: disable-next=RL001,RL002
+    return np.fromiter(weights)
+
+
+def wrong_code_does_not_silence(seen: set[int]) -> list[int]:
+    return list(seen)  # repro-lint: disable=RL005

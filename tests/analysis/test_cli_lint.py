@@ -1,0 +1,76 @@
+"""CLI behavior: exit codes, formats, and the ``repro lint`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from _lint_helpers import FIXTURES, SRC_ROOT
+
+from repro.analysis import cli
+
+
+def test_exit_zero_when_clean(capsys: pytest.CaptureFixture[str]) -> None:
+    assert cli.run([str(FIXTURES / "rl001_good.py")]) == 0
+    assert "no contract violations found" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(capsys: pytest.CaptureFixture[str]) -> None:
+    assert cli.run([str(FIXTURES / "rl001_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+
+
+def test_exit_two_on_missing_path(capsys: pytest.CaptureFixture[str]) -> None:
+    assert cli.run([str(FIXTURES / "does_not_exist.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_json_format(capsys: pytest.CaptureFixture[str]) -> None:
+    assert cli.run([str(FIXTURES / "rl005_bad.py"), "--format", "json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary"]["by_code"] == {"RL005": 4}
+
+
+def test_select_flag(capsys: pytest.CaptureFixture[str]) -> None:
+    bad = str(FIXTURES / "rl001_bad.py")
+    assert cli.run([bad, "--select", "RL002,RL005"]) == 0
+    capsys.readouterr()
+    assert cli.run([bad, "--select", "RL001"]) == 1
+
+
+def test_ignore_flag() -> None:
+    bad = str(FIXTURES / "rl002_bad.py")
+    assert cli.run([bad, "--ignore", "RL002"]) == 0
+
+
+def test_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
+    assert cli.run(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert code in out
+
+
+def test_module_entry_point_exists() -> None:
+    # ``python -m repro.analysis`` must resolve; keep the import light.
+    import repro.analysis.__main__  # noqa: F401
+
+
+def test_repro_cli_exposes_lint_subcommand(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    from repro.cli import main
+
+    code = main(["lint", str(FIXTURES / "rl001_good.py")])
+    assert code == 0
+    assert "no contract violations found" in capsys.readouterr().out
+
+    code = main(["lint", str(FIXTURES / "rl001_bad.py")])
+    assert code == 1
+
+
+def test_repro_cli_lint_src_is_clean(capsys: pytest.CaptureFixture[str]) -> None:
+    from repro.cli import main
+
+    assert main(["lint", str(SRC_ROOT)]) == 0

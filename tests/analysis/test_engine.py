@@ -1,0 +1,137 @@
+"""Engine behavior: suppressions, parse errors, select/ignore, path walking."""
+
+from __future__ import annotations
+
+import textwrap
+
+from _lint_helpers import FIXTURES, lint_fixture
+
+from repro.analysis import Finding, LintEngine, lint_paths
+from repro.analysis.engine import PARSE_ERROR_CODE
+
+
+def _lint(source: str, **kwargs) -> list[Finding]:
+    return LintEngine(**kwargs).lint_source(textwrap.dedent(source))
+
+
+# -- suppression comments ----------------------------------------------------
+
+
+def test_suppressed_fixture_only_wrong_code_survives() -> None:
+    findings = lint_fixture("suppressed.py")
+    assert [f.code for f in findings] == ["RL001"]
+    assert "wrong_code" in (FIXTURES / "suppressed.py").read_text().splitlines()[
+        findings[0].line - 2
+    ]
+
+
+def test_same_line_disable() -> None:
+    assert not _lint(
+        """
+        def f(seen: set[int]) -> list[int]:
+            return list(seen)  # repro-lint: disable=RL001
+        """
+    )
+
+
+def test_disable_next_targets_the_following_line() -> None:
+    assert not _lint(
+        """
+        def f(seen: set[int]) -> list[int]:
+            # repro-lint: disable-next=RL001
+            return list(seen)
+        """
+    )
+    # ... and ONLY the following line: two lines below still fires.
+    findings = _lint(
+        """
+        def f(seen: set[int]) -> list[int]:
+            # repro-lint: disable-next=RL001
+
+            return list(seen)
+        """
+    )
+    assert [f.code for f in findings] == ["RL001"]
+
+
+def test_multi_code_disable() -> None:
+    source = """
+        import numpy as np
+
+        def f(seen: set[float]):
+            return np.fromiter(seen)  # repro-lint: disable=RL001,RL002
+        """
+    assert not _lint(source)
+    # Without the directive both rules fire on that line.
+    undirected = source.replace("  # repro-lint: disable=RL001,RL002", "")
+    assert {f.code for f in _lint(undirected)} == {"RL001", "RL002"}
+
+
+def test_suppressing_the_wrong_code_does_not_silence() -> None:
+    findings = _lint(
+        """
+        def f(seen: set[int]) -> list[int]:
+            return list(seen)  # repro-lint: disable=RL005
+        """
+    )
+    assert [f.code for f in findings] == ["RL001"]
+
+
+# -- parse errors ------------------------------------------------------------
+
+
+def test_unparseable_file_yields_rl000() -> None:
+    findings = _lint("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].code == PARSE_ERROR_CODE
+    assert "could not parse" in findings[0].message
+
+
+def test_rl000_survives_select() -> None:
+    findings = _lint("def broken(:\n", select=["RL001"])
+    assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+
+# -- select / ignore ---------------------------------------------------------
+
+
+_MIXED = """
+    import numpy as np
+
+    def f(seen: set[float]):
+        order = list(seen)
+        total = sum(seen)
+        raw = np.array(order)
+        return order, total, raw
+    """
+
+
+def test_select_keeps_only_named_codes() -> None:
+    assert {f.code for f in _lint(_MIXED)} == {"RL001", "RL002", "RL005"}
+    assert {f.code for f in _lint(_MIXED, select=["RL005"])} == {"RL005"}
+
+
+def test_ignore_drops_named_codes() -> None:
+    codes = {f.code for f in _lint(_MIXED, ignore=["RL002", "RL005"])}
+    assert codes == {"RL001"}
+
+
+# -- findings and path walking ----------------------------------------------
+
+
+def test_findings_are_sorted_and_render_canonically() -> None:
+    findings = _lint(_MIXED)
+    assert findings == sorted(findings)
+    first = findings[0]
+    assert first.render() == (
+        f"{first.path}:{first.line}:{first.col}: {first.code} {first.message}"
+    )
+
+
+def test_lint_paths_walks_directories_and_deduplicates() -> None:
+    once = lint_paths([FIXTURES])
+    twice = lint_paths([FIXTURES, FIXTURES / "rl001_bad.py"])
+    assert once == twice
+    assert {f.code for f in once} >= {"RL001", "RL002", "RL003", "RL004", "RL005"}
+    paths = [f.path for f in once]
+    assert paths == sorted(paths)

@@ -1,0 +1,56 @@
+"""The repo must pass its own static gates.
+
+``repro lint src/repro`` exiting clean is a tier-1 invariant: any commit
+that introduces an unordered-iteration, dtype, registry, picklability,
+or float-accumulation hazard fails here before it ever reaches the
+conformance matrix.  The mypy check is the same gate CI runs; it skips
+(rather than fails) where mypy is not installed so the suite stays
+runnable in minimal environments.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+
+import pytest
+
+from _lint_helpers import SRC_ROOT
+
+from repro.analysis import LintEngine
+
+
+def test_source_tree_is_lint_clean() -> None:
+    findings = LintEngine().lint_paths([SRC_ROOT])
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"repro-lint findings in src/repro:\n{rendered}"
+
+
+def test_tests_analysis_itself_is_lint_clean() -> None:
+    # The linter's own machinery (not the deliberately-bad fixtures)
+    # honors the contracts it enforces.
+    here = SRC_ROOT.parents[1] / "tests" / "analysis"
+    targets = sorted(p for p in here.glob("*.py"))
+    findings = LintEngine().lint_paths(targets)
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"repro-lint findings in tests/analysis:\n{rendered}"
+
+
+def test_py_typed_marker_ships() -> None:
+    assert (SRC_ROOT / "py.typed").is_file()
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed; CI runs the typing gate",
+)
+def test_mypy_clean_on_typed_surface() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", str(SRC_ROOT)],
+        capture_output=True,
+        text=True,
+        cwd=SRC_ROOT.parents[1],
+        check=False,
+    )
+    assert result.returncode == 0, f"mypy errors:\n{result.stdout}"

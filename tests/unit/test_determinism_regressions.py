@@ -1,0 +1,126 @@
+"""Regression tests for hazards found (and fixed) by ``repro lint``.
+
+Each test pins one of the determinism fixes: the hazard is demonstrated
+on plain python objects (set iteration order really is insertion-
+dependent; float sums really are order-dependent), then the fixed code
+is asserted to be invariant under those very perturbations.  Finally the
+fixed modules are linted so the hazards cannot silently return.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.blocking.base import Block
+from repro.schema.entropy import aggregate_entropies
+from repro.schema.partition import AttributePartitioning
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+# -- the hazards themselves (motivating demonstrations) ----------------------
+
+
+def test_frozenset_iteration_depends_on_insertion_order() -> None:
+    # 1 and 9 collide in a small hash table, so whichever is inserted
+    # first wins the primary slot: equal sets, different iteration order.
+    assert frozenset([1, 9]) == frozenset([9, 1])
+    orders = {tuple(frozenset(p)) for p in itertools.permutations([1, 9])}
+    assert len(orders) > 1
+
+
+def test_float_sum_depends_on_order() -> None:
+    values = [1e16, 1.0, -1e16]
+    sums = {sum(p) for p in itertools.permutations(values)}
+    assert len(sums) > 1  # left-to-right rounding differs per order
+    fsums = {math.fsum(p) for p in itertools.permutations(values)}
+    assert fsums == {1.0}  # fsum rounds once, order-independent
+
+
+# -- Block.iter_pairs: lexicographic regardless of insertion history ---------
+
+
+def test_iter_pairs_dirty_is_insertion_order_invariant() -> None:
+    members = [1, 5, 9, 13]  # ints with small-table collisions
+    expected = list(itertools.combinations(sorted(members), 2))
+    for perm in itertools.permutations(members):
+        block = Block(key="k", left=frozenset(perm))
+        assert list(block.iter_pairs()) == expected
+
+
+def test_iter_pairs_clean_clean_is_insertion_order_invariant() -> None:
+    left, right = [1, 9], [17, 25]
+    expected = [(i, j) for i in sorted(left) for j in sorted(right)]
+    for lperm in itertools.permutations(left):
+        for rperm in itertools.permutations(right):
+            block = Block(
+                key="k", left=frozenset(lperm), right=frozenset(rperm)
+            )
+            assert list(block.iter_pairs()) == expected
+
+
+# -- aggregate_entropies: exactly rounded, order-independent -----------------
+
+
+def test_aggregate_entropies_uses_exact_summation() -> None:
+    refs = [(0, "a"), (0, "b"), (0, "c")]
+    partitioning = AttributePartitioning([refs])
+    entropies = {refs[0]: 1e16, refs[1]: 1.0, refs[2]: -1e16}
+    # A left-to-right sum gives 0.0 or 1.0 depending on the frozenset's
+    # iteration order (see the demonstration above); fsum is exact.
+    assert aggregate_entropies(partitioning, entropies) == {1: 1.0 / 3}
+
+
+def test_aggregate_entropies_missing_and_empty() -> None:
+    refs = [(0, "a"), (0, "b")]
+    partitioning = AttributePartitioning([refs])
+    assert aggregate_entropies(partitioning, {refs[0]: 3.0}) == {1: 1.5}
+
+
+# -- the lint gate keeps the fixes in place ----------------------------------
+
+_FIXED_MODULES = [
+    "blocking/base.py",
+    "blocking/standard.py",
+    "graph/vectorized.py",
+    "schema/entropy.py",
+    "supervised/metablocking.py",
+    "streaming/views.py",
+]
+
+
+@pytest.mark.parametrize("relpath", _FIXED_MODULES)
+def test_fixed_modules_stay_lint_clean(relpath: str) -> None:
+    from repro.analysis import LintEngine
+
+    findings = LintEngine().lint_file(SRC / relpath)
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"hazard reintroduced in {relpath}:\n{rendered}"
+
+
+@pytest.mark.parametrize(
+    ("snippet", "code"),
+    [
+        # The pre-fix spellings, verbatim in miniature: each must fire.
+        ("def f(left: frozenset[int]):\n"
+         "    for i in left:\n"
+         "        yield i\n", "RL001"),
+        ("import numpy as np\n"
+         "def f(wanted: set[int]):\n"
+         "    return np.fromiter(wanted, dtype=np.int32)\n", "RL001"),
+        ("import numpy as np\n"
+         "def f(n: int):\n"
+         "    return np.arange(n)\n", "RL002"),
+        ("def f(members: frozenset, entropies: dict) -> float:\n"
+         "    return sum(entropies.get(r, 0.0) for r in members)\n", "RL005"),
+    ],
+)
+def test_pre_fix_spellings_are_flagged(snippet: str, code: str) -> None:
+    from repro.analysis import LintEngine
+
+    findings = LintEngine().lint_source(snippet)
+    assert code in {f.code for f in findings}

@@ -34,8 +34,8 @@ class TestMinHasher:
         assert np.array_equal(s1, s2)
 
     def test_estimate_approximates_jaccard(self):
-        a = set(f"t{i}" for i in range(100))
-        b = set(f"t{i}" for i in range(50, 150))  # true jaccard = 50/150
+        a = {f"t{i}" for i in range(100)}
+        b = {f"t{i}" for i in range(50, 150)}  # true jaccard = 50/150
         hasher = MinHasher(num_hashes=512, seed=3)
         sigs = hasher.signatures([a, b])
         estimate = hasher.estimate_jaccard(sigs[0], sigs[1])

@@ -220,10 +220,10 @@ class TestDictionaryRoundTrip:
     def test_dictionary_keeps_ids_of_fully_deleted_keys(self, tmp_path):
         session = StreamingSession()
         session.upsert(profile("a", "unique token"))
-        before = dict(
-            (key, session.index.key_dictionary.id_of(key))
+        before = {
+            key: session.index.key_dictionary.id_of(key)
             for key in session.index.key_dictionary
-        )
+        }
         session.delete("a")  # no live member keeps these keys alive
         path = tmp_path / "snap.json.gz"
         session.snapshot(path)
