@@ -24,49 +24,101 @@ names accepted by ``--blocker``/``--weighting``/``--pruning``, and the
 three-line compositions behind each Figure 8 ablation.
 """
 
-from repro.core import (
-    Blast,
-    BlastConfig,
-    BlastResult,
-    BlockerStage,
-    BlockFilteringStage,
-    BlockPurgingStage,
-    MetaBlockingStage,
-    Pipeline,
-    PipelineContext,
-    PipelineError,
-    SchemaAwareBlockingStage,
-    SchemaExtraction,
-    Stage,
-    StageReport,
-    TokenBlockingStage,
-    build_pipeline,
-    prepare_blocks,
-    register_backend,
-    register_blocker,
-    register_pruning,
-    register_stream_view,
-    register_weighting,
-)
-from repro.data import (
-    EntityCollection,
-    EntityProfile,
-    ERDataset,
-    GroundTruth,
-    InternedCorpus,
-    TokenDictionary,
-)
-from repro.datasets import load_clean_clean, load_dirty
-from repro.graph import MetaBlocker, WeightingScheme
-from repro.metrics import evaluate_blocks
-from repro.streaming import (
-    IncrementalBlockIndex,
-    StreamingMetaBlocker,
-    StreamingSession,
-    StreamingStage,
-)
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core import (
+        Blast,
+        BlastConfig,
+        BlastResult,
+        BlockerStage,
+        BlockFilteringStage,
+        BlockPurgingStage,
+        MetaBlockingStage,
+        Pipeline,
+        PipelineContext,
+        PipelineError,
+        SchemaAwareBlockingStage,
+        SchemaExtraction,
+        Stage,
+        StageReport,
+        TokenBlockingStage,
+        build_pipeline,
+        prepare_blocks,
+        register_backend,
+        register_blocker,
+        register_pruning,
+        register_stream_view,
+        register_weighting,
+    )
+    from repro.data import (
+        EntityCollection,
+        EntityProfile,
+        ERDataset,
+        GroundTruth,
+        InternedCorpus,
+        TokenDictionary,
+    )
+    from repro.datasets import load_clean_clean, load_dirty
+    from repro.graph import MetaBlocker, WeightingScheme
+    from repro.metrics import evaluate_blocks
+    from repro.streaming import (
+        IncrementalBlockIndex,
+        StreamingMetaBlocker,
+        StreamingSession,
+        StreamingStage,
+    )
 
 __version__ = "1.3.0"
+
+#: Lazy export table (PEP 562): public name -> defining module.  The
+#: pipeline imports stay lazy because ``python -m repro.analysis`` — the
+#: dependency-free ``lint-static`` CI gate — imports the ``repro``
+#: package; eager imports here would drag numpy into environments that
+#: deliberately have none.  Attribute access (``repro.Blast``,
+#: ``from repro import Blast``) resolves through :func:`__getattr__` on
+#: first use and is cached in the module namespace afterwards.
+_EXPORTS: dict[str, str] = {
+    "Blast": "repro.core",
+    "BlastConfig": "repro.core",
+    "BlastResult": "repro.core",
+    "BlockerStage": "repro.core",
+    "BlockFilteringStage": "repro.core",
+    "BlockPurgingStage": "repro.core",
+    "MetaBlockingStage": "repro.core",
+    "Pipeline": "repro.core",
+    "PipelineContext": "repro.core",
+    "PipelineError": "repro.core",
+    "SchemaAwareBlockingStage": "repro.core",
+    "SchemaExtraction": "repro.core",
+    "Stage": "repro.core",
+    "StageReport": "repro.core",
+    "TokenBlockingStage": "repro.core",
+    "build_pipeline": "repro.core",
+    "prepare_blocks": "repro.core",
+    "register_backend": "repro.core",
+    "register_blocker": "repro.core",
+    "register_pruning": "repro.core",
+    "register_stream_view": "repro.core",
+    "register_weighting": "repro.core",
+    "EntityCollection": "repro.data",
+    "EntityProfile": "repro.data",
+    "ERDataset": "repro.data",
+    "GroundTruth": "repro.data",
+    "InternedCorpus": "repro.data",
+    "TokenDictionary": "repro.data",
+    "load_clean_clean": "repro.datasets",
+    "load_dirty": "repro.datasets",
+    "MetaBlocker": "repro.graph",
+    "WeightingScheme": "repro.graph",
+    "evaluate_blocks": "repro.metrics",
+    "IncrementalBlockIndex": "repro.streaming",
+    "StreamingMetaBlocker": "repro.streaming",
+    "StreamingSession": "repro.streaming",
+    "StreamingStage": "repro.streaming",
+}
 
 __all__ = [
     "Blast",
@@ -108,3 +160,21 @@ __all__ = [
     "evaluate_blocks",
     "__version__",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

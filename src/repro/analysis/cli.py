@@ -28,8 +28,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "paths",
         nargs="*",
         type=Path,
-        default=[Path("src")],
-        help="files or directories to lint (default: src)",
+        default=None,
+        help=(
+            "files or directories to lint (default: src/ when it exists "
+            "— the in-repo layout — else the current directory)"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -85,9 +88,20 @@ def execute(args: argparse.Namespace) -> int:
             print(f"       {rule.rationale}")
         return 0
 
-    missing = [str(path) for path in args.paths if not path.exists()]
+    # The bare `repro lint` default must make sense outside the repo root
+    # too (installed console script): prefer src/ when present, otherwise
+    # lint the current directory instead of failing on a missing 'src'.
+    paths: list[Path] = args.paths or [
+        Path("src") if Path("src").is_dir() else Path(".")
+    ]
+
+    missing = [str(path) for path in paths if not path.exists()]
     if missing:
-        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        print(
+            f"error: no such path: {', '.join(missing)} "
+            "(paths are resolved relative to the current directory)",
+            file=sys.stderr,
+        )
         return 2
 
     engine = LintEngine(
@@ -95,7 +109,7 @@ def execute(args: argparse.Namespace) -> int:
         select=_split_codes(args.select),
         ignore=_split_codes(args.ignore),
     )
-    findings = engine.lint_paths(args.paths)
+    findings = engine.lint_paths(paths)
     if args.format == "json":
         print(render_json(findings, rules))
     else:

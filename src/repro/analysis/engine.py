@@ -22,7 +22,9 @@ finding rather than crashing the run.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -57,15 +59,32 @@ class Finding:
 
 
 def _suppressions(source: str) -> dict[int, frozenset[str]]:
-    """Map line number -> codes suppressed there (1-based, like findings)."""
+    """Map line number -> codes suppressed there (1-based, like findings).
+
+    Directives are read from ``tokenize`` COMMENT tokens, not raw source
+    lines: a *string literal* containing ``# repro-lint: disable=...``
+    (e.g. in this engine's own tests) must not silence real findings on
+    its line.
+    """
     out: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        target = lineno + 1 if match.group("kind") == "disable-next" else lineno
-        codes = {code.strip() for code in match.group("codes").split(",")}
-        out.setdefault(target, set()).update(codes)
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            lineno = token.start[0]
+            target = (
+                lineno + 1 if match.group("kind") == "disable-next" else lineno
+            )
+            codes = {code.strip() for code in match.group("codes").split(",")}
+            out.setdefault(target, set()).update(codes)
+    except (tokenize.TokenError, IndentationError):
+        # lint_source only reaches here for files ast.parse accepted, so
+        # tokenize failures are effectively unreachable; keep whatever
+        # directives were seen before the error rather than crashing.
+        pass
     return {line: frozenset(codes) for line, codes in out.items()}
 
 

@@ -80,7 +80,9 @@ class PicklabilityRule(LintRule):
         module = stmt.module or ""
         return module.split(".")[0] in ("multiprocessing", "concurrent")
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+    def _visit_any_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
         # Names defined *inside* this function are process-local: they
         # cannot be imported by a worker, hence cannot unpickle.
         local = {
@@ -96,6 +98,12 @@ class PicklabilityRule(LintRule):
         self.generic_visit(node)
         self._scopes.pop()
         self._local_definitions.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_any_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_any_function(node)
 
     def visit_Call(self, node: ast.Call) -> None:
         if self._uses_multiprocessing:

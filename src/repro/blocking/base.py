@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable, Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 
 
@@ -34,6 +34,14 @@ class Block:
     key: str
     left: frozenset[int]
     right: frozenset[int] | None = None
+    # Lazily-filled cache of the sorted member tuples (a block is
+    # immutable, so iter_pairs would otherwise re-sort on every call —
+    # a hot path when large blocks are enumerated repeatedly).  Excluded
+    # from __eq__/__hash__/repr; written via object.__setattr__ because
+    # the dataclass is frozen.
+    _sorted_members: tuple[tuple[int, ...], tuple[int, ...] | None] | None = (
+        field(default=None, init=False, repr=False, compare=False)
+    )
 
     @property
     def is_clean_clean(self) -> bool:
@@ -59,6 +67,17 @@ class Block:
         n = len(self.left)
         return n * (n - 1) // 2
 
+    def _pair_order(self) -> tuple[tuple[int, ...], tuple[int, ...] | None]:
+        """The member sets as sorted tuples, computed once per block."""
+        cached = self._sorted_members
+        if cached is None:
+            cached = (
+                tuple(sorted(self.left)),
+                tuple(sorted(self.right)) if self.right is not None else None,
+            )
+            object.__setattr__(self, "_sorted_members", cached)
+        return cached
+
     def iter_pairs(self) -> Iterator[tuple[int, int]]:
         """Yield the comparison pairs as canonical ``(i, j)`` with ``i < j``,
         in lexicographic order.
@@ -68,15 +87,17 @@ class Block:
         before iteration (RL001): frozenset order depends on insertion
         history, so yielding raw set order would stream the same block's
         pairs differently between equal collections built along different
-        paths (e.g. batch vs snapshot-restored).
+        paths (e.g. batch vs snapshot-restored).  The sorted tuples are
+        cached on the (immutable) block, so repeated enumeration pays the
+        O(n log n) sort only once.
         """
-        if self.right is not None:
-            for i in sorted(self.left):
-                for j in sorted(self.right):
+        left, right = self._pair_order()
+        if right is not None:
+            for i in left:
+                for j in right:
                     yield (i, j)
         else:
-            for i, j in itertools.combinations(sorted(self.left), 2):
-                yield (i, j)
+            yield from itertools.combinations(left, 2)
 
 
 class BlockCollection(Sequence[Block]):

@@ -28,3 +28,11 @@ def run_local_class(items: list[int]):
 def run_lambda_initializer() -> None:
     pool = multiprocessing.Pool(2, initializer=lambda: None)  # RL004
     pool.close()
+
+
+async def run_nested_async(items: list[int]) -> list[int]:
+    def worker(x: int) -> int:  # local def inside async: still unpicklable
+        return x + 1
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(worker, items)  # RL004: nested def in async function

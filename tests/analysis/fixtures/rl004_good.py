@@ -24,3 +24,9 @@ def run_imap(items: list[int]) -> list[int]:
 def plain_map(items: list[int]) -> list[int]:
     # builtin map with a lambda is fine: nothing crosses a process boundary.
     return list(map(lambda x: x + 1, items))
+
+
+async def run_async(items: list[int]) -> list[int]:
+    # module-level payloads dispatched from async code are picklable.
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_worker, items)

@@ -45,6 +45,35 @@ def test_ignore_flag() -> None:
     assert cli.run([bad, "--ignore", "RL002"]) == 0
 
 
+def test_default_path_outside_repo_falls_back_to_cwd(
+    tmp_path, monkeypatch: pytest.MonkeyPatch, capsys: pytest.CaptureFixture[str]
+) -> None:
+    # No src/ in cwd: the bare invocation lints '.' instead of exiting 2.
+    (tmp_path / "mod.py").write_text(
+        "def f(seen: set[int]) -> list[int]:\n    return list(seen)\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    assert cli.run([]) == 1
+    assert "RL001" in capsys.readouterr().out
+
+
+def test_default_path_prefers_src_when_present(
+    tmp_path, monkeypatch: pytest.MonkeyPatch, capsys: pytest.CaptureFixture[str]
+) -> None:
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "clean.py").write_text("X = 1\n", encoding="utf-8")
+    # A violation OUTSIDE src/ must not be picked up by the default.
+    (tmp_path / "dirty.py").write_text(
+        "def f(seen: set[int]) -> list[int]:\n    return list(seen)\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    assert cli.run([]) == 0
+    assert "no contract violations found" in capsys.readouterr().out
+
+
 def test_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
     assert cli.run(["--list-rules"]) == 0
     out = capsys.readouterr().out

@@ -67,6 +67,29 @@ def test_multi_code_disable() -> None:
     assert {f.code for f in _lint(undirected)} == {"RL001", "RL002"}
 
 
+def test_directive_inside_string_literal_does_not_suppress() -> None:
+    # The directive text appears on the offending line, but as a STRING
+    # token, not a COMMENT — the finding must survive.
+    findings = _lint(
+        """
+        def f(seen: set[int]) -> tuple[list[int], str]:
+            return list(seen), "# repro-lint: disable=RL001"
+        """
+    )
+    assert [f.code for f in findings] == ["RL001"]
+
+
+def test_disable_next_inside_string_literal_does_not_suppress() -> None:
+    findings = _lint(
+        """
+        def f(seen: set[int]) -> list[int]:
+            banner = "# repro-lint: disable-next=RL001"
+            return list(seen)
+        """
+    )
+    assert [f.code for f in findings] == ["RL001"]
+
+
 def test_suppressing_the_wrong_code_does_not_silence() -> None:
     findings = _lint(
         """

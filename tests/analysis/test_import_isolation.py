@@ -1,0 +1,73 @@
+"""The analyzer must import and run with no third-party dependencies.
+
+The CI ``lint-static`` job runs ``python -m repro.analysis src`` *before*
+installing anything, so importing :mod:`repro.analysis` must not execute
+numpy-importing code.  Because ``import repro.analysis`` first executes
+``repro/__init__.py``, the package facade has to stay lazy (PEP 562) —
+an eager ``from repro.core import ...`` there would drag numpy in.  Each
+subprocess poisons numpy's ``sys.modules`` entry so any ``import numpy``
+raises ``ImportError``, then exercises the real entry points.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from _lint_helpers import FIXTURES, SRC_ROOT
+
+_POISON = "import sys; sys.modules['numpy'] = None\n"
+
+
+def _run_without_numpy(code: str) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT.parent)
+    return subprocess.run(
+        [sys.executable, "-c", _POISON + code],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_repro_analysis_imports_without_numpy() -> None:
+    result = _run_without_numpy("import repro.analysis\n")
+    assert result.returncode == 0, result.stderr
+
+
+def test_lint_cli_runs_without_numpy() -> None:
+    result = _run_without_numpy(
+        "from repro.analysis.cli import run\n"
+        f"raise SystemExit(run([{str(FIXTURES / 'rl001_good.py')!r}]))\n"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "no contract violations found" in result.stdout
+
+
+def test_python_dash_m_entry_point_runs_without_numpy() -> None:
+    # ``python -m repro.analysis --list-rules`` via runpy, exactly the
+    # module-execution path the CI job uses.
+    result = _run_without_numpy(
+        "import runpy\n"
+        "sys.argv = ['repro.analysis', '--list-rules']\n"
+        "runpy.run_module('repro.analysis', run_name='__main__')\n"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "RL001" in result.stdout
+
+
+def test_lazy_facade_still_resolves_every_export() -> None:
+    # The lazy __getattr__ must serve the full public surface (numpy is
+    # available here — this guards the table, not the isolation).
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert "Blast" in dir(repro)
+    try:
+        repro.not_an_export
+    except AttributeError as exc:
+        assert "not_an_export" in str(exc)
+    else:  # pragma: no cover - defends the test itself
+        raise AssertionError("expected AttributeError for unknown name")

@@ -16,7 +16,7 @@ CASES = {
     "RL001": ("rl001_bad.py", 9, "rl001_good.py"),
     "RL002": ("rl002_bad.py", 8, "rl002_good.py"),
     "RL003": ("rl003_bad.py", 5, "rl003_good.py"),
-    "RL004": ("rl004_bad.py", 4, "rl004_good.py"),
+    "RL004": ("rl004_bad.py", 5, "rl004_good.py"),
     "RL005": ("rl005_bad.py", 4, "rl005_good.py"),
 }
 

@@ -33,6 +33,22 @@ class TestBlock:
         assert b.num_comparisons == 0
         assert list(b.iter_pairs()) == []
 
+    def test_iter_pairs_sort_is_cached_and_stable(self):
+        b = Block("k", frozenset({3, 1, 2}), frozenset({7, 5}))
+        first = list(b.iter_pairs())
+        assert first == [(1, 5), (1, 7), (2, 5), (2, 7), (3, 5), (3, 7)]
+        # Second enumeration reuses the cached sorted tuples ...
+        assert b._pair_order() is b._pair_order()
+        assert list(b.iter_pairs()) == first
+
+    def test_sort_cache_does_not_leak_into_identity(self):
+        a = Block("k", frozenset({1, 2}), frozenset({5}))
+        b = Block("k", frozenset({1, 2}), frozenset({5}))
+        list(a.iter_pairs())  # populate a's cache only
+        assert a == b
+        assert hash(a) == hash(b)
+        assert "sorted" not in repr(a)
+
 
 class TestBlockCollection:
     def test_kind_mismatch_rejected(self):
