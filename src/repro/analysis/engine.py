@@ -111,7 +111,7 @@ class LintEngine:
     ----------
     rules:
         Rule instances to run; defaults to
-        :func:`repro.analysis.rules.default_rules` (RL001–RL005).
+        :func:`repro.analysis.rules.default_rules` (RL001–RL006).
     select / ignore:
         Optional code filters applied after the run — ``select`` keeps
         only the named codes, ``ignore`` drops them (``RL000`` parse

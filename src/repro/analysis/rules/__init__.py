@@ -19,6 +19,8 @@ RL004   unpicklable-worker-payload     no lambdas/local defs shipped to
                                        multiprocessing workers
 RL005   order-dependent-float-sum      float accumulation over unordered
                                        collections uses ``math.fsum``
+RL006   swallowed-exception            no bare ``except:``; broad catches
+                                       never silently discard the error
 ======  =============================  ==========================================
 """
 
@@ -30,6 +32,7 @@ from repro.analysis.rules.determinism import (
     UnorderedIterationRule,
 )
 from repro.analysis.rules.dtype import DtypeDisciplineRule
+from repro.analysis.rules.exceptions import SwallowedExceptionRule
 from repro.analysis.rules.pickling import PicklabilityRule
 from repro.analysis.rules.registry import RegistryContractRule
 
@@ -41,6 +44,7 @@ __all__ = [
     "PicklabilityRule",
     "RawFinding",
     "RegistryContractRule",
+    "SwallowedExceptionRule",
     "UnorderedIterationRule",
     "default_rules",
 ]
@@ -54,4 +58,5 @@ def default_rules() -> list[LintRule]:
         RegistryContractRule(),
         PicklabilityRule(),
         FloatAccumulationRule(),
+        SwallowedExceptionRule(),
     ]

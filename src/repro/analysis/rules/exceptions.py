@@ -1,0 +1,100 @@
+"""RL006 — exceptions are handled, logged, or re-raised, never swallowed.
+
+The reliability layer (repro.reliability) works by making failures
+*surface* deterministically: worker errors become retries, timeouts
+become serial fallbacks, malformed records become quarantine reports.
+All of that breaks silently if a handler swallows the error first — an
+injected fault that disappears into ``except Exception: pass`` makes a
+fault-injection test vacuous, and a production error that disappears
+there corrupts results without a trace.
+
+RL006 flags two constructs:
+
+* ``except:`` — the bare form catches ``BaseException``, including
+  ``KeyboardInterrupt``, ``SystemExit``, and injected faults, whatever
+  the body does;
+* ``except Exception`` / ``except BaseException`` (alone, aliased, or as
+  a tuple member) whose body only ``pass``es (or ``...``/``continue``) —
+  the error is caught as broadly as possible and then discarded.
+
+Narrow handlers (``except KeyError: pass``) stay legal: quarantining a
+*specific* anticipated failure is exactly what ``on_error="skip"`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import LintRule
+
+__all__ = ["SwallowedExceptionRule"]
+
+#: Exception names considered "catches everything".
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(expr: ast.expr | None) -> str | None:
+    """The broad exception name *expr* mentions, or ``None``."""
+    if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+        return expr.id
+    if isinstance(expr, ast.Attribute) and expr.attr in _BROAD_NAMES:
+        return expr.attr
+    if isinstance(expr, ast.Tuple):
+        for element in expr.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _only_swallows(body: list[ast.stmt]) -> bool:
+    """Whether a handler body discards the exception without a trace.
+
+    True when every statement is ``pass``, ``...``, or ``continue`` —
+    nothing is logged, re-raised, returned, or recorded.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+class SwallowedExceptionRule(LintRule):
+    """RL006: no bare ``except:``; no silently-discarded broad catches."""
+
+    code = "RL006"
+    name = "swallowed-exception"
+    rationale = (
+        "the reliability layer depends on failures surfacing: worker "
+        "errors drive retries and serial fallback, injected faults drive "
+        "the fault-injection suite, malformed records drive quarantine "
+        "reports — a bare 'except:' or an 'except Exception: pass' "
+        "discards all of them invisibly; catch the specific exceptions "
+        "you can handle, and log or re-raise the rest"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare 'except:' catches BaseException — including "
+                "KeyboardInterrupt, SystemExit, and injected faults; "
+                "name the exceptions this handler can actually handle",
+            )
+        else:
+            broad = _broad_name(node.type)
+            if broad is not None and _only_swallows(node.body):
+                self.report(
+                    node,
+                    f"'except {broad}' with a pass-only body silently "
+                    "swallows every error; handle specific exceptions, or "
+                    "log/re-raise what this handler cannot deal with",
+                )
+        self.generic_visit(node)

@@ -45,6 +45,7 @@ from repro.core.registry import (
     STREAM_VIEWS,
     WEIGHTINGS,
 )
+from repro.data.collection import EntityCollection
 from repro.data.dataset import ERDataset
 from repro.data.io import (
     load_collection,
@@ -153,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="session snapshot path: restored before the "
                              "replay when the file exists, written after it "
                              "either way")
+    stream.add_argument("--journal", type=Path, default=None,
+                        help="append-only write-ahead journal: every "
+                             "upsert/delete is logged before it is applied; "
+                             "with --snapshot, a crashed replay recovers to "
+                             "the exact pre-crash state (snapshot + journal "
+                             "tail)")
+    stream.add_argument("--skip-malformed", action="store_true",
+                        help="quarantine malformed stream lines instead of "
+                             "aborting; a per-record report goes to stderr")
     stream.add_argument("--no-query", action="store_true",
                         help="only build the index (bulk load / snapshot "
                              "warm-up); no candidates are computed")
@@ -170,6 +180,10 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
                         help="JSONL entity collection (see repro.data.io)")
     parser.add_argument("--right", type=Path, default=None,
                         help="second collection for clean-clean ER; omit for dirty ER")
+    parser.add_argument("--skip-malformed", action="store_true",
+                        help="quarantine malformed lines and duplicate ids "
+                             "instead of aborting; a per-record report goes "
+                             "to stderr")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +211,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                              "backend (strict, except a single entity "
                              "owning more); bounds peak per-shard memory "
                              "(default: one balanced shard per worker)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="seconds one shard task of the parallel "
+                             "backend may take before it is declared lost "
+                             "and retried (default: wait forever)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="fresh-pool retries of the parallel backend "
+                             "after shard failures/timeouts; shards still "
+                             "unfinished afterwards run serially in-process "
+                             "(default: 2)")
     parser.add_argument("--induction", choices=("lmi", "ac"), default="lmi")
     parser.add_argument("--alpha", type=float, default=0.9)
     parser.add_argument("--use-lsh", action="store_true")
@@ -231,6 +254,8 @@ def _config_from(args: argparse.Namespace) -> BlastConfig:
         backend=args.backend,
         workers=args.workers,
         shard_size=args.shard_size,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
         seed=args.seed,
     )
 
@@ -250,10 +275,24 @@ def _run_pipeline(args: argparse.Namespace, dataset: ERDataset):
     return result
 
 
+def _load_quarantining(path: Path) -> EntityCollection:
+    """Load a collection skipping bad records, reporting them on stderr."""
+    from repro.data.io import IngestReport
+
+    report = IngestReport()
+    collection = load_collection(path, on_error="collect", report=report)
+    for issue in report.issues:
+        print(f"warning: skipped {issue}", file=sys.stderr)
+    if not report.ok:
+        print(f"warning: {path}: {report.summary()}", file=sys.stderr)
+    return collection
+
+
 def _dataset_from(args: argparse.Namespace,
                   ground_truth: GroundTruth | None = None) -> ERDataset:
-    left = load_collection(args.left)
-    right = load_collection(args.right) if args.right else None
+    load = _load_quarantining if args.skip_malformed else load_collection
+    left = load(args.left)
+    right = load(args.right) if args.right else None
     if ground_truth is None:
         ground_truth = GroundTruth([], clean_clean=right is not None)
     return ERDataset(left, right, ground_truth, name=args.left.stem)
@@ -316,7 +355,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.data.io import open_text
+    from repro.data.io import IngestReport, open_text
     from repro.streaming import StreamingSession, iter_stream
 
     config = BlastConfig(
@@ -330,26 +369,51 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         stream_consistency=args.consistency,
         stream_query_k=args.query_k,
     )
-    if args.snapshot is not None and args.snapshot.exists():
+    def fresh_session(journal: Path | None = None) -> StreamingSession:
+        return StreamingSession(
+            config,
+            clean_clean=args.clean_clean,
+            pruning=PRUNERS.get(args.pruning)(config),
+            journal=journal,
+        )
+
+    snapshot_exists = args.snapshot is not None and args.snapshot.exists()
+    journal_used = (
+        args.journal is not None
+        and args.journal.exists()
+        and args.journal.stat().st_size > 0
+    )
+    if args.journal is not None and (snapshot_exists or journal_used):
+        # Snapshot + journal tail = the exact pre-crash state (a used
+        # journal with no snapshot yet recovers from an empty baseline);
+        # the journal stays attached for the replay that follows.
+        session = StreamingSession.recover(
+            args.snapshot, args.journal, session_factory=fresh_session
+        )
+        base = (f"{args.snapshot} + {args.journal} (snapshot settings apply)"
+                if snapshot_exists
+                else f"{args.journal} (no snapshot yet)")
+        print(f"recovered {session.index.num_profiles} profiles from {base}")
+    elif snapshot_exists:
         session = StreamingSession.restore(args.snapshot)
         print(f"restored {session.index.num_profiles} profiles from "
               f"{args.snapshot} (snapshot settings apply)")
     else:
-        session = StreamingSession(
-            config,
-            clean_clean=args.clean_clean,
-            pruning=PRUNERS.get(args.pruning)(config),
-        )
+        session = fresh_session(journal=args.journal)
 
+    ingest_report = IngestReport() if args.skip_malformed else None
+    records = iter_stream(
+        args.input,
+        on_error="collect" if args.skip_malformed else "raise",
+        report=ingest_report,
+    )
     out_handle = (
         open_text(args.output, "w") if args.output is not None else None
     )
     upserts = deletes = links = 0
     start = time.perf_counter()
     try:
-        for event in session.replay(
-            iter_stream(args.input), query=not args.no_query
-        ):
+        for event in session.replay(records, query=not args.no_query):
             record = event.record
             if record.op == "delete":
                 deletes += 1
@@ -375,6 +439,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             out_handle.close()
     elapsed = time.perf_counter() - start
 
+    if ingest_report is not None:
+        for issue in ingest_report.issues:
+            print(f"warning: skipped {issue}", file=sys.stderr)
+        if not ingest_report.ok:
+            print(f"warning: {args.input}: {ingest_report.summary()}",
+                  file=sys.stderr)
     qps = upserts / elapsed if elapsed > 0 else float("inf")
     print(f"replayed {upserts + deletes} records ({upserts} upserts, "
           f"{deletes} deletes) in {elapsed:.2f}s"
@@ -386,6 +456,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"snapshot written to {args.snapshot} "
               f"({session.index.num_profiles} profiles, "
               f"{session.index.num_blocks} keys)")
+    session.close()
     return 0
 
 

@@ -82,6 +82,17 @@ class BlastConfig:
         cap may exceed it); ``None`` splits into one balanced shard per
         worker.  Rejected with the serial built-ins, forwarded to custom
         backends.
+    task_timeout:
+        Seconds one shard task of the ``parallel`` backend may take
+        before it is declared lost and retried (``None`` waits forever);
+        the only way a killed or hung worker is detected.  Rejected with
+        the serial built-ins, forwarded to custom backends.
+    max_retries:
+        Fresh-pool retries of the ``parallel`` backend after shard tasks
+        fail or time out (default 2 when unset; shards still unfinished
+        after the retries degrade to serial in-process execution, so
+        results are bit-identical either way).  Rejected with the serial
+        built-ins, forwarded to custom backends.
     seed:
         Seed for the LSH hash functions.
 
@@ -118,6 +129,8 @@ class BlastConfig:
     backend: str = "vectorized"
     workers: int | None = None
     shard_size: int | None = None
+    task_timeout: float | None = None
+    max_retries: int | None = None
     seed: int | None = None
     # Streaming
     stream_consistency: str = "exact"
@@ -186,6 +199,14 @@ class BlastConfig:
             raise ValueError(
                 f"shard_size must be positive or None, got {self.shard_size}"
             )
+        if self.task_timeout is not None and not self.task_timeout > 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0 or None, got {self.max_retries}"
+            )
         # Refuse, rather than silently ignore, execution knobs the chosen
         # backend will never see — `--workers 8` without `--backend
         # parallel` must not quietly run serial.  Only the known serial
@@ -193,12 +214,18 @@ class BlastConfig:
         # knobs through backend_options() and may accept them (or fail
         # loudly with a TypeError of its own).
         if self.backend in _SERIAL_BACKENDS and (
-            self.workers is not None or self.shard_size is not None
+            self.workers is not None
+            or self.shard_size is not None
+            or self.task_timeout is not None
+            or self.max_retries is not None
         ):
             raise ValueError(
-                f"workers/shard_size do not apply to the serial "
-                f"{self.backend!r} backend; use backend='parallel' "
-                f"(got workers={self.workers}, shard_size={self.shard_size})"
+                f"workers/shard_size/task_timeout/max_retries do not apply "
+                f"to the serial {self.backend!r} backend; use "
+                f"backend='parallel' (got workers={self.workers}, "
+                f"shard_size={self.shard_size}, "
+                f"task_timeout={self.task_timeout}, "
+                f"max_retries={self.max_retries})"
             )
         # Same deal for stream view names (STREAM_VIEWS registry).
         if not self.stream_consistency or not isinstance(
@@ -220,8 +247,9 @@ class BlastConfig:
         The serial built-ins receive no extras (their signatures stay the
         plain backend protocol; set knobs are rejected at construction);
         ``parallel`` — and any custom registered backend — receives the
-        ``workers``/``shard_size`` knobs that were set.  ``None`` values
-        are omitted so backend-side defaults (cpu count, balanced shards)
+        ``workers``/``shard_size``/``task_timeout``/``max_retries`` knobs
+        that were set.  ``None`` values are omitted so backend-side
+        defaults (cpu count, balanced shards, no timeout, 2 retries)
         apply.
         """
         if self.backend in _SERIAL_BACKENDS:
@@ -231,4 +259,8 @@ class BlastConfig:
             options["workers"] = self.workers
         if self.shard_size is not None:
             options["shard_size"] = self.shard_size
+        if self.task_timeout is not None:
+            options["task_timeout"] = self.task_timeout
+        if self.max_retries is not None:
+            options["max_retries"] = self.max_retries
         return options

@@ -4,6 +4,7 @@ from repro.data.collection import EntityCollection
 from repro.data.corpus import InternedCorpus, TokenDictionary
 from repro.data.dataset import ERDataset
 from repro.data.ground_truth import GroundTruth
+from repro.data.io import IngestIssue, IngestReport
 from repro.data.profile import EntityProfile
 
 __all__ = [
@@ -11,6 +12,8 @@ __all__ = [
     "EntityCollection",
     "GroundTruth",
     "ERDataset",
+    "IngestIssue",
+    "IngestReport",
     "InternedCorpus",
     "TokenDictionary",
 ]

@@ -10,6 +10,14 @@ Every reader and writer is transparently gzip-aware: any path ending in
 :func:`iter_collection` streams a JSON-lines file profile by profile, so
 arbitrarily large collections can be replayed (e.g. by ``repro stream``)
 without ever materializing them in memory.
+
+Malformed input does not have to be fatal: the JSON-lines readers take
+``on_error="raise" | "skip" | "collect"``.  ``raise`` (the default) keeps
+the historical fail-fast behavior; ``skip`` quarantines bad lines and
+keeps going; ``collect`` additionally records one :class:`IngestIssue`
+per quarantined line into a caller-supplied :class:`IngestReport` —
+surfaced on the command line as ``repro run/evaluate/stream
+--skip-malformed``.
 """
 
 from __future__ import annotations
@@ -18,14 +26,87 @@ import csv
 import gzip
 import json
 from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, TypeVar
 
 from repro.data.collection import EntityCollection
 from repro.data.ground_truth import GroundTruth
 from repro.data.profile import EntityProfile
+from repro.reliability import FAULTS, InjectedFault
 
 T = TypeVar("T")
+
+#: The accepted ``on_error`` modes of the JSON-lines readers.
+ON_ERROR_MODES = frozenset({"raise", "skip", "collect"})
+
+
+@dataclass(frozen=True)
+class IngestIssue:
+    """One quarantined input record: where it was and why it was dropped.
+
+    ``line_no`` is ``None`` for issues that are not tied to a single line
+    (e.g. a duplicate id, which is a property of the pair).
+    """
+
+    path: str
+    line_no: int | None
+    reason: str
+
+    def __str__(self) -> str:
+        location = (
+            f"{self.path}:{self.line_no}" if self.line_no else self.path
+        )
+        return f"{location}: {self.reason}"
+
+
+@dataclass
+class IngestReport:
+    """What a quarantine-tolerant ingest kept and what it dropped.
+
+    ``loaded``/``skipped`` are always maintained; ``issues`` carries the
+    per-record detail only under ``on_error="collect"``.
+    """
+
+    loaded: int = 0
+    skipped: int = 0
+    issues: list[IngestIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every record made it in."""
+        return self.skipped == 0
+
+    def summary(self) -> str:
+        """A one-line human summary, e.g. for CLI stderr."""
+        if self.ok:
+            return f"ingested {self.loaded} records"
+        return (
+            f"ingested {self.loaded} records, "
+            f"quarantined {self.skipped}"
+        )
+
+
+def _quarantine(
+    report: IngestReport | None,
+    on_error: str,
+    issue: IngestIssue,
+) -> None:
+    if report is None:
+        return
+    report.skipped += 1
+    if on_error == "collect":
+        report.issues.append(issue)
+
+
+def _check_on_error(on_error: str, report: IngestReport | None) -> None:
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {', '.join(sorted(ON_ERROR_MODES))}; "
+            f"got {on_error!r}"
+        )
+    if on_error == "collect" and report is None:
+        raise ValueError("on_error='collect' requires a report= to fill")
 
 
 def open_text(
@@ -51,34 +132,65 @@ def profile_from_record(record: dict) -> EntityProfile:
     )
 
 
-def iter_json_records(path: str | Path, convert: Callable[[dict], T]) -> Iterator[T]:
+def iter_json_records(
+    path: str | Path,
+    convert: Callable[[dict], T],
+    *,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+) -> Iterator[T]:
     """Stream a JSON-lines file through *convert*, one record at a time.
 
-    Blank lines are skipped; a line that fails to parse — or whose decoded
-    record *convert* rejects — raises a :class:`ValueError` naming the
-    file and line.  The file is read lazily, so gigabyte-scale (optionally
-    ``.gz``-compressed) inputs stream in constant memory.  Shared by
-    :func:`iter_collection` and the streaming subsystem's record parser.
+    Blank lines are skipped.  A line that fails to parse — or whose
+    decoded record *convert* rejects — raises a :class:`ValueError`
+    naming the file and line under ``on_error="raise"`` (the default);
+    under ``"skip"`` and ``"collect"`` the line is quarantined instead
+    and counted in *report* (``collect`` also records an
+    :class:`IngestIssue` per line, and requires *report*).  The file is
+    read lazily, so gigabyte-scale (optionally ``.gz``-compressed)
+    inputs stream in constant memory.  Shared by :func:`iter_collection`
+    and the streaming subsystem's record parser.
     """
     path = Path(path)
+    _check_on_error(on_error, report)
     with open_text(path) as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                yield convert(json.loads(line))
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ValueError(f"{path}:{line_no}: malformed record") from exc
+                FAULTS.fire("ingest.record", path=path)
+                record = convert(json.loads(line))
+            except (KeyError, TypeError, ValueError, InjectedFault) as exc:
+                if on_error == "raise":
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed record"
+                    ) from exc
+                _quarantine(
+                    report,
+                    on_error,
+                    IngestIssue(str(path), line_no, f"malformed record: {exc}"),
+                )
+                continue
+            if report is not None:
+                report.loaded += 1
+            yield record
 
 
-def iter_collection(path: str | Path) -> Iterator[EntityProfile]:
+def iter_collection(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+) -> Iterator[EntityProfile]:
     """Stream the profiles of a JSON-lines file, one at a time.
 
     Unlike :func:`load_collection`, nothing is materialized — see
-    :func:`iter_json_records` for the line-level behavior.
+    :func:`iter_json_records` for the line-level and quarantine behavior.
     """
-    return iter_json_records(path, profile_from_record)
+    return iter_json_records(
+        path, profile_from_record, on_error=on_error, report=report
+    )
 
 
 def save_collection(collection: EntityCollection, path: str | Path) -> None:
@@ -92,12 +204,54 @@ def save_collection(collection: EntityCollection, path: str | Path) -> None:
             handle.write(json.dumps(record, ensure_ascii=False) + "\n")
 
 
-def load_collection(path: str | Path, name: str = "") -> EntityCollection:
-    """Read a JSON-lines file written by :func:`save_collection`."""
+def load_collection(
+    path: str | Path,
+    name: str = "",
+    *,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+) -> EntityCollection:
+    """Read a JSON-lines file written by :func:`save_collection`.
+
+    Under ``on_error="skip"``/``"collect"``, malformed lines *and*
+    duplicate profile ids are quarantined (first occurrence wins) instead
+    of aborting the load — see :func:`iter_json_records`.
+    """
     path = Path(path)
+    _check_on_error(on_error, report)
     default_name = path.name[: -len(".gz")] if path.suffix == ".gz" else path.name
     default_name = Path(default_name).stem
-    return EntityCollection(iter_collection(path), name=name or default_name)
+    profiles = iter_collection(path, on_error=on_error, report=report)
+    if on_error != "raise":
+        profiles = _deduplicated(profiles, path, on_error, report)
+    return EntityCollection(profiles, name=name or default_name)
+
+
+def _deduplicated(
+    profiles: Iterator[EntityProfile],
+    path: Path,
+    on_error: str,
+    report: IngestReport | None,
+) -> Iterator[EntityProfile]:
+    """Drop repeat ids (keeping the first) so the collection stays valid."""
+    seen: set[str] = set()
+    for profile in profiles:
+        if profile.profile_id in seen:
+            if report is not None:
+                report.loaded -= 1  # counted by the reader, then dropped
+            _quarantine(
+                report,
+                on_error,
+                IngestIssue(
+                    str(path),
+                    None,
+                    f"duplicate profile_id {profile.profile_id!r} "
+                    "(first occurrence kept)",
+                ),
+            )
+            continue
+        seen.add(profile.profile_id)
+        yield profile
 
 
 def save_ground_truth(truth: GroundTruth, path: str | Path) -> None:

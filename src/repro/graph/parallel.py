@@ -32,6 +32,17 @@ pickling — which doubles as the chunked low-memory mode: with
 their argsort workspace) never exceed one shard's comparisons, instead of
 the full ``||B||`` the serial backend materializes at once.
 
+Fault tolerance (see DESIGN.md "Reliability & recovery"): pool dispatch
+is timeout-aware (``AsyncResult.get(task_timeout)``), failed or lost
+shards are retried on a freshly built pool with deterministic seeded
+backoff (:class:`~repro.reliability.RetryPolicy`), and shards that still
+fail after the last retry fall back to serial in-process execution — the
+same pure shard kernel, so the merged arrays (and therefore the retained
+edge set) stay bit-identical to the all-serial result no matter which
+attempt produced each shard.  Workers fire the ``parallel.worker`` fault
+site (:data:`repro.reliability.FAULTS`) so tests and ``REPRO_FAULTS``
+scenarios can deterministically kill, delay, or fail shard tasks.
+
 Inputs the array path cannot express (custom weighting callables,
 user-defined pruning schemes) delegate to the pure-python reference
 backend, exactly like the vectorized backend does.
@@ -41,6 +52,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,12 +74,16 @@ from repro.graph.vectorized import (
     supports_pruning,
 )
 from repro.graph.weights import WeightingScheme
+from repro.reliability import FAULTS, RetryPolicy
 
 __all__ = [
     "merge_shards",
     "parallel_metablocking",
     "resolve_workers",
 ]
+
+#: Fault site fired in a pool worker before its shard task runs.
+WORKER_FAULT_SITE = "parallel.worker"
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -144,7 +161,15 @@ def _run_shard(
 def _run_shard_in_worker(
     bounds: tuple[int, int],
 ) -> tuple[ShardEdges, np.ndarray | None]:
-    """Pool entry point: one ``(lo, hi)`` range against the worker state."""
+    """Pool entry point: one ``(lo, hi)`` range against the worker state.
+
+    Fires the ``parallel.worker`` fault site first, so injected worker
+    death / delay / failure happens exactly where a real fault would:
+    inside a pool worker, with the task already dispatched.  The serial
+    paths (``workers=1`` and the retry fallback) never fire it — they
+    *are* the degradation target.
+    """
+    FAULTS.fire(WORKER_FAULT_SITE)
     assert _WORKER_STATE is not None, "worker initialized without state"
     return _run_shard(_WORKER_STATE, bounds[0], bounds[1])
 
@@ -217,10 +242,112 @@ def _validate_plan(plan: list[tuple[int, int]], num_ids: int) -> None:
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer ``fork`` (cheap, shares pages COW); fall back to the default."""
+    """Prefer ``fork`` (cheap, shares pages COW); fall back to the default.
+
+    The fallback is announced through :mod:`warnings` rather than taken
+    silently: under ``spawn`` every worker re-imports the package and the
+    per-worker initializer payload travels by pickle, so a run that was
+    benchmarked under ``fork`` behaves very differently — the operator
+    should know which regime they are in.
+    """
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
+    context = multiprocessing.get_context()
+    warnings.warn(
+        "multiprocessing 'fork' start method unavailable on this platform; "
+        f"falling back to {context.get_start_method()!r} (workers re-import "
+        "the package and receive the shared arrays by pickle)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return context
+
+
+def _dispatch_shards(
+    state: _SharedState,
+    plan: list[tuple[int, int]],
+    workers: int,
+    policy: RetryPolicy,
+) -> list[tuple[ShardEdges, np.ndarray | None]]:
+    """Run every shard of *plan*, surviving worker death and stuck tasks.
+
+    The dispatch state machine (DESIGN.md "Reliability & recovery"):
+
+    1. **dispatch** — every unfinished shard is submitted to a pool via
+       ``apply_async``; each result is awaited with the policy's
+       per-attempt timeout.
+    2. **retry** — shards whose result raised (a worker-side exception,
+       a broken pipe from a killed worker) or timed out (a lost or stuck
+       task) are retried on a *freshly built* pool after a deterministic
+       seeded backoff, up to ``policy.max_retries`` times; shards that
+       completed are never recomputed.
+    3. **degrade** — shards still unfinished after the last retry run
+       serially in-process through the identical pure kernel
+       (:func:`_run_shard`), so the run completes with the exact arrays a
+       fault-free run would have produced.
+
+    Pools are torn down deterministically on every path: ``close()`` after
+    a clean batch, ``terminate()`` when anything failed (a timed-out task
+    would otherwise keep its worker busy forever), and ``join()`` always —
+    no leaked workers or semaphores for ``pytest -x`` to trip over.
+    """
+    results: list[tuple[ShardEdges, np.ndarray | None] | None]
+    results = [None] * len(plan)
+    pending = list(range(len(plan)))
+    last_error: BaseException | None = None
+    context = _pool_context()
+
+    for attempt in range(policy.attempts):
+        if not pending:
+            break
+        if attempt:
+            time.sleep(policy.delay(attempt))
+        pool = context.Pool(
+            processes=min(workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(state,),
+        )
+        clean = True
+        try:
+            handles = [
+                (index, pool.apply_async(_run_shard_in_worker, (plan[index],)))
+                for index in pending
+            ]
+            unfinished: list[int] = []
+            for index, handle in handles:
+                try:
+                    results[index] = handle.get(policy.task_timeout)
+                except Exception as exc:
+                    # Worker-side errors arrive re-raised from get();
+                    # killed workers and stuck tasks surface as
+                    # multiprocessing.TimeoutError.  Either way the shard
+                    # is unfinished and retryable.
+                    clean = False
+                    last_error = exc
+                    unfinished.append(index)
+            pending = unfinished
+        finally:
+            if clean:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
+
+    if pending:
+        warnings.warn(
+            f"parallel backend: {len(pending)} shard(s) unfinished after "
+            f"{policy.attempts} pool attempt(s) (last error: "
+            f"{last_error!r}); degrading to serial in-process execution "
+            "for those shards (results remain bit-identical)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for index in pending:
+            lo, hi = plan[index]
+            results[index] = _run_shard(state, lo, hi)
+
+    # Every slot is filled: finished in a worker, or serially just above.
+    return [result for result in results if result is not None]
 
 
 def parallel_metablocking(
@@ -233,12 +360,18 @@ def parallel_metablocking(
     workers: int | None = None,
     shard_size: int | None = None,
     shard_plan: list[tuple[int, int]] | None = None,
+    task_timeout: float | None = None,
+    max_retries: int | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> list[Edge]:
     """The ``parallel`` meta-blocking backend: sorted retained edges.
 
     Bit-identical to :func:`repro.graph.vectorized.vectorized_metablocking`
     (and hence to the ``python`` oracle) for every weighting scheme and
-    built-in pruning strategy; unsupported components delegate to the
+    built-in pruning strategy — including under worker death, stuck
+    tasks, and injected faults (failed shards are retried, then degraded
+    to serial execution of the identical kernel; see
+    :func:`_dispatch_shards`).  Unsupported components delegate to the
     reference path.
 
     Parameters
@@ -258,6 +391,17 @@ def parallel_metablocking(
         pathological shard layouts (empty ranges, single-entity ranges).
         Must tile ``[0, num_ids)`` contiguously (validated: an overlap or
         gap would silently corrupt the merge).
+    task_timeout:
+        Seconds one shard attempt may take before it is declared lost
+        and retried (``None``: wait forever — a *killed* worker is then
+        only recoverable when the pool machinery surfaces an error).
+    max_retries:
+        Pool retries per dispatch round before degrading the remaining
+        shards to serial execution (default 2).
+    retry_policy:
+        Full :class:`~repro.reliability.RetryPolicy` override (timeout,
+        retries, seeded backoff).  Mutually exclusive with the
+        ``task_timeout``/``max_retries`` shorthands.
     """
     if isinstance(weighting, str):
         weighting = WeightingScheme(weighting)
@@ -275,6 +419,15 @@ def parallel_metablocking(
         )
     if shard_size is not None and shard_size < 1:
         raise ValueError(f"shard_size must be positive, got {shard_size}")
+    if retry_policy is None:
+        retry_policy = RetryPolicy(
+            max_retries=2 if max_retries is None else max_retries,
+            task_timeout=task_timeout,
+        )
+    elif task_timeout is not None or max_retries is not None:
+        raise ValueError(
+            "pass either retry_policy or task_timeout/max_retries, not both"
+        )
     workers = resolve_workers(workers)
 
     index = collection.entity_index
@@ -308,12 +461,7 @@ def parallel_metablocking(
     )
 
     if workers > 1 and len(plan) > 1:
-        with _pool_context().Pool(
-            processes=min(workers, len(plan)),
-            initializer=_init_worker,
-            initargs=(state,),
-        ) as pool:
-            results = pool.map(_run_shard_in_worker, plan)
+        results = _dispatch_shards(state, list(plan), workers, retry_policy)
     else:
         results = [_run_shard(state, lo, hi) for lo, hi in plan]
 

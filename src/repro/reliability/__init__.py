@@ -1,0 +1,53 @@
+"""Reliability substrate: retry policies and deterministic fault injection.
+
+Everything the production-facing layers use to survive partial failure
+lives here, dependency-free (pure stdlib, importable without numpy):
+
+* :class:`~repro.reliability.policy.RetryPolicy` — how many times to
+  retry a failed unit of work, how long to wait for each attempt, and a
+  *deterministic* seeded backoff schedule (reproducible runs stay
+  reproducible even through their failure handling);
+* :class:`~repro.reliability.faults.FaultInjector` — a registry of named
+  *fault sites* that production code fires on its hot paths for free
+  (a dict lookup when nothing is armed) and that tests or the
+  ``REPRO_FAULTS`` environment spec arm to deterministically kill
+  workers, delay tasks, raise errors, and truncate or corrupt files at
+  exact points in the execution.
+
+The wired fault sites (see DESIGN.md "Reliability & recovery"):
+
+==================  =========================================================
+site                fires
+==================  =========================================================
+parallel.worker     in a pool worker, before a shard task runs
+snapshot.write      after the snapshot temp file is written and fsynced,
+                    before the atomic ``os.replace`` (``path=`` temp file)
+journal.append      before a session op is appended to the write-ahead
+                    journal
+journal.apply       after the journal append + flush, before the op is
+                    applied to the index (the WAL crash window)
+ingest.record       before each JSON-lines record is decoded
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from repro.reliability.faults import (
+    FAULT_ACTIONS,
+    FAULTS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_specs,
+)
+from repro.reliability.policy import RetryPolicy
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "parse_fault_specs",
+]

@@ -1,0 +1,315 @@
+"""Deterministic, registry-driven fault injection.
+
+Production code declares *fault sites* — named points on its hot paths —
+by calling :meth:`FaultInjector.fire`.  When nothing is armed the call is
+a dict lookup; when a test (programmatically) or an operator (via the
+``REPRO_FAULTS`` environment variable) arms a site, firing it executes
+the armed action at exactly that point:
+
+==========  =================================================================
+action      effect at the site
+==========  =================================================================
+kill        ``os._exit(value or 23)`` — an un-catchable process death, the
+            OOM-killer / SIGKILL stand-in
+delay       ``time.sleep(value or 0.05)`` — a stuck task (drives timeouts)
+raise       raise :class:`InjectedFault` — a deterministic task failure
+truncate    truncate the site's file to ``value`` bytes (default: half) —
+            a torn write
+corrupt     XOR-flip one byte of the site's file at offset ``value``
+            (default: the middle) — bit rot
+==========  =================================================================
+
+The ``REPRO_FAULTS`` spec is a ``;``/``,``-separated list of
+``site=action[:value][@hits]`` items, where ``hits`` restricts the action
+to specific invocation counts (1-based): ``@1`` fires only the first
+time, ``@2-4`` the second through fourth.  Examples::
+
+    REPRO_FAULTS="parallel.worker=kill"            # every shard task dies
+    REPRO_FAULTS="parallel.worker=raise@1"         # first task fails once
+    REPRO_FAULTS="journal.apply=kill@5"            # crash in the WAL window
+    REPRO_FAULTS="snapshot.write=truncate:64"      # torn snapshot write
+
+Invocation counters live in ``multiprocessing.Value`` shared memory, so
+under the ``fork`` start method a hit window spans the whole process tree
+(a worker's hit is visible to the parent and to later workers).  Under
+``spawn`` the armed state does not travel with the pool; workers re-arm
+from the ``REPRO_FAULTS`` environment (inherited by children) with
+per-process counters — programmatically armed faults are fork-only.
+
+:data:`FAULTS` is the process-global injector every wired site fires;
+tests arm it through the :meth:`FaultInjector.injected` context manager
+so state never leaks between tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import time
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "parse_fault_specs",
+]
+
+#: The actions a fault site can be armed with.
+FAULT_ACTIONS = frozenset({"kill", "delay", "raise", "truncate", "corrupt"})
+
+#: Exit code of ``kill`` faults — distinctive, so a test that finds a
+#: worker dead with 23 knows the injector (not the code under test) did it.
+KILL_EXIT_CODE = 23
+
+_SPEC_RE = re.compile(
+    r"^(?P<site>[A-Za-z0-9_.-]+)=(?P<action>[a-z]+)"
+    r"(?::(?P<value>[0-9.]+))?"
+    r"(?:@(?P<lo>\d+)(?:-(?P<hi>\d+))?)?$"
+)
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a fired ``raise`` fault (and retried like any task error)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where, what, and on which invocation counts.
+
+    ``hits`` is a frozenset of 1-based invocation numbers (``None`` means
+    every invocation); ``value`` parameterizes the action (seconds for
+    ``delay``, bytes for ``truncate``, an offset for ``corrupt``, an exit
+    code for ``kill``).
+    """
+
+    site: str
+    action: str
+    value: float | None = None
+    hits: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"valid: {', '.join(sorted(FAULT_ACTIONS))}"
+            )
+        if not self.site:
+            raise ValueError("fault site must be a non-empty name")
+        if self.hits is not None and (
+            not self.hits or min(self.hits) < 1
+        ):
+            raise ValueError(
+                f"hits must be 1-based invocation numbers, got {self.hits}"
+            )
+
+
+def parse_fault_specs(text: str) -> list[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` spec string into :class:`FaultSpec`s."""
+    specs: list[FaultSpec] = []
+    for item in re.split(r"[;,]", text):
+        item = item.strip()
+        if not item:
+            continue
+        match = _SPEC_RE.match(item)
+        if match is None:
+            raise ValueError(
+                f"malformed fault spec {item!r}; expected "
+                "site=action[:value][@hits] (e.g. parallel.worker=kill@1)"
+            )
+        hits: frozenset[int] | None = None
+        if match.group("lo") is not None:
+            lo = int(match.group("lo"))
+            hi = int(match.group("hi") or lo)
+            if hi < lo:
+                raise ValueError(f"empty hit window in fault spec {item!r}")
+            hits = frozenset(range(lo, hi + 1))
+        value = match.group("value")
+        specs.append(
+            FaultSpec(
+                site=match.group("site"),
+                action=match.group("action"),
+                value=float(value) if value is not None else None,
+                hits=hits,
+            )
+        )
+    return specs
+
+
+class _Armed:
+    """A spec plus its shared-memory invocation counter."""
+
+    __slots__ = ("spec", "counter")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        # Shared so hit windows count across a fork()ed process tree: a
+        # worker's invocation is visible to retries in fresh workers.
+        self.counter: Any = multiprocessing.Value("i", 0)
+
+    def next_hit(self) -> int:
+        with self.counter.get_lock():
+            self.counter.value += 1
+            return int(self.counter.value)
+
+
+class FaultInjector:
+    """A registry of armed faults, fired by name from production code.
+
+    Sites fire unconditionally (``FAULTS.fire("parallel.worker")``); the
+    injector decides — per armed spec and invocation count — whether
+    anything happens.  An unarmed fire is a single dict lookup.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self._armed: dict[str, list[_Armed]] = {}
+        for spec in specs:
+            self.arm(spec)
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(
+        self,
+        spec: FaultSpec | str,
+        *,
+        action: str | None = None,
+        value: float | None = None,
+        hits: Iterable[int] | int | None = None,
+    ) -> FaultSpec:
+        """Arm one fault; *spec* is a :class:`FaultSpec` or a site name.
+
+        ``arm("parallel.worker", action="kill", hits=1)`` and
+        ``arm(FaultSpec("parallel.worker", "kill", hits=frozenset({1})))``
+        are equivalent.  Returns the armed spec.
+        """
+        if isinstance(spec, str):
+            if action is None:
+                raise ValueError("arm(site, ...) requires action=")
+            if isinstance(hits, int):
+                hits = (hits,)
+            spec = FaultSpec(
+                site=spec,
+                action=action,
+                value=value,
+                hits=frozenset(hits) if hits is not None else None,
+            )
+        self._armed.setdefault(spec.site, []).append(_Armed(spec))
+        return spec
+
+    def clear(self, site: str | None = None) -> None:
+        """Disarm every fault (or only *site*'s)."""
+        if site is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(site, None)
+
+    def armed_specs(self) -> list[FaultSpec]:
+        """Every armed spec, in arming order per site."""
+        return [
+            armed.spec
+            for site in sorted(self._armed)
+            for armed in self._armed[site]
+        ]
+
+    @contextmanager
+    def injected(
+        self,
+        site: str,
+        action: str,
+        *,
+        value: float | None = None,
+        hits: Iterable[int] | int | None = None,
+    ) -> Iterator["FaultInjector"]:
+        """Arm one fault for the duration of a ``with`` block (test hook)."""
+        spec = self.arm(site, action=action, value=value, hits=hits)
+        try:
+            yield self
+        finally:
+            entries = self._armed.get(site, [])
+            for index, armed in enumerate(entries):
+                if armed.spec is spec:
+                    del entries[index]
+                    break
+            if not entries:
+                self._armed.pop(site, None)
+
+    # -- firing ---------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault is armed (sites may guard hot loops on this)."""
+        return bool(self._armed)
+
+    def fire(self, site: str, *, path: str | Path | None = None) -> None:
+        """Fire *site*; executes whatever is armed there (usually nothing).
+
+        *path* hands file-mutating actions (``truncate``/``corrupt``)
+        their target; sites that write files pass the file being written.
+        """
+        entries = self._armed.get(site)
+        if not entries:
+            return
+        for armed in entries:
+            hit = armed.next_hit()
+            spec = armed.spec
+            if spec.hits is not None and hit not in spec.hits:
+                continue
+            self._execute(spec, path)
+
+    @staticmethod
+    def _execute(spec: FaultSpec, path: str | Path | None) -> None:
+        if spec.action == "kill":
+            os._exit(int(spec.value) if spec.value is not None else KILL_EXIT_CODE)
+        if spec.action == "delay":
+            time.sleep(spec.value if spec.value is not None else 0.05)
+            return
+        if spec.action == "raise":
+            raise InjectedFault(f"injected fault at site {spec.site!r}")
+        # File-mutating actions need a target from the site.
+        if path is None:
+            raise ValueError(
+                f"fault action {spec.action!r} armed at site {spec.site!r}, "
+                "but the site provides no file path"
+            )
+        path = Path(path)
+        size = path.stat().st_size
+        if spec.action == "truncate":
+            keep = int(spec.value) if spec.value is not None else size // 2
+            with path.open("r+b") as handle:
+                handle.truncate(min(keep, size))
+            return
+        if spec.action == "corrupt":
+            offset = int(spec.value) if spec.value is not None else size // 2
+            if size == 0:
+                return
+            offset = min(offset, size - 1)
+            with path.open("r+b") as handle:
+                handle.seek(offset)
+                byte = handle.read(1)
+                handle.seek(offset)
+                handle.write(bytes((byte[0] ^ 0xFF,)))
+            return
+        raise AssertionError(f"unreachable action {spec.action!r}")
+
+    # -- environment ----------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, variable: str = "REPRO_FAULTS") -> "FaultInjector":
+        """An injector armed from an environment spec (empty when unset)."""
+        return cls(parse_fault_specs(os.environ.get(variable, "")))
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(armed={len(self.armed_specs())})"
+
+
+#: The process-global injector every wired fault site fires.  Armed from
+#: ``REPRO_FAULTS`` at import, so CLI runs and spawned workers pick up
+#: operator-specified scenarios automatically.
+FAULTS = FaultInjector.from_env()

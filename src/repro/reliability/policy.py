@@ -1,0 +1,89 @@
+"""Retry policies with deterministic seeded backoff.
+
+A :class:`RetryPolicy` answers three questions for a dispatcher: how long
+may one attempt run (``task_timeout``), how many times may a failed unit
+of work be retried (``max_retries``), and how long to wait before each
+retry (:meth:`RetryPolicy.delay`).  The backoff schedule is exponential
+with *seeded* jitter: two runs with the same policy produce the same
+delays, so a fault-injected test — or a bit-for-bit reproduction of a
+production incident — replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a dispatcher retries failed work, deterministically.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries after the first attempt (``0`` disables retrying; the
+        work still runs once).  Total attempts = ``max_retries + 1``.
+    task_timeout:
+        Seconds one attempt may take before it is declared lost and
+        becomes retryable (``None`` waits forever — worker *errors* are
+        still caught and retried, but a silently hung or killed worker
+        can only be detected through a timeout).
+    backoff_base:
+        First retry's nominal delay in seconds; attempt *n* waits
+        ``backoff_base * 2**(n-1)``, capped at ``backoff_cap``.
+    backoff_cap:
+        Upper bound on any single delay.
+    seed:
+        Jitter seed.  Each delay is scaled by a uniform factor in
+        ``[0.5, 1.0]`` drawn from ``random.Random((seed, attempt))`` —
+        deterministic per (policy, attempt), decorrelated across
+        attempts.
+    """
+
+    max_retries: int = 2
+    task_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_timeout is not None and not self.task_timeout > 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"backoff_cap ({self.backoff_cap}) must be >= "
+                f"backoff_base ({self.backoff_base})"
+            )
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts the policy allows (first run + retries)."""
+        return self.max_retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry *attempt* (1-based).
+
+        Deterministic: depends only on the policy fields and *attempt*.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        nominal = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        jitter = random.Random(f"{self.seed}:{attempt}").uniform(0.5, 1.0)
+        return nominal * jitter
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule, one delay per allowed retry."""
+        return [self.delay(attempt) for attempt in range(1, self.max_retries + 1)]

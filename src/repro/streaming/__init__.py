@@ -22,6 +22,7 @@ from repro.streaming.index import IncrementalBlockIndex, PostingList
 from repro.streaming.metablocker import Candidate, StreamingMetaBlocker
 from repro.streaming.session import (
     ReplayEvent,
+    SnapshotCorruptionError,
     StreamingSession,
     StreamRecord,
     iter_stream,
@@ -39,6 +40,7 @@ __all__ = [
     "PostingList",
     "ReplayEvent",
     "STREAMING_SESSION",
+    "SnapshotCorruptionError",
     "StreamRecord",
     "StreamingMetaBlocker",
     "StreamingSession",

@@ -31,7 +31,7 @@ state after such a cycle identical to the state after a single upsert.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -240,6 +240,36 @@ class IncrementalBlockIndex:
     def live_nodes(self) -> list[int]:
         """All live node ids, ascending (== arrival order of first upsert)."""
         return sorted(self._profiles)
+
+    def node_map_payload(self) -> list[list]:
+        """Every ``(source, profile_id) -> node`` assignment, in node order.
+
+        Tombstoned profiles are included: the map is what keeps node ids
+        stable across upsert -> delete -> upsert cycles, so a snapshot
+        round trip must carry all of it for the restored index to assign
+        the same ids — and therefore the same equal-weight neighbor
+        ordering — as the index that never restarted.
+        """
+        return [
+            [source, profile_id, node]
+            for (source, profile_id), node in sorted(
+                self._ids.items(), key=lambda item: item[1]
+            )
+        ]
+
+    def seed_node_map(self, entries: Iterable[Sequence]) -> None:
+        """Pre-seed the node-id map from :meth:`node_map_payload` output.
+
+        Restore-time only: the index must still be empty.
+        """
+        if self._ids:
+            raise ValueError(
+                "the node map can only be seeded into an empty index"
+            )
+        for source, profile_id, node in entries:
+            self._ids[(int(source), str(profile_id))] = int(node)
+        if self._ids:
+            self._next_id = max(self._ids.values()) + 1
 
     def node_of(self, profile_id: str, source: int = 0) -> int:
         """The live node id of ``(source, profile_id)`` (KeyError if absent)."""

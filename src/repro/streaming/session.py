@@ -17,19 +17,33 @@ and an optional ``"op"`` (``"upsert"`` default, or ``"delete"``)::
 
 ``repro stream`` replays such a file (``.gz`` transparently) and emits
 each arrival's retained candidates as they are computed.
+
+Crash safety (see DESIGN.md "Reliability & recovery"): snapshots are
+written atomically (same-directory temp file + ``fsync`` + ``os.replace``)
+and carry a CRC32 checksum verified on :meth:`StreamingSession.restore` —
+a truncated, bit-flipped, or future-format snapshot raises
+:class:`SnapshotCorruptionError` naming the file and the reason.  With
+``journal=`` set, every ``upsert``/``delete`` is appended to a JSON-lines
+write-ahead journal *before* it is applied, and
+:meth:`StreamingSession.recover` rebuilds the exact pre-crash state from
+the last snapshot plus the journal tail.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
-from collections.abc import Iterable, Iterator
+import os
+import zlib
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import IO
 
 from repro.core.config import BlastConfig
 from repro.data.corpus import TokenDictionary
 from repro.data.dataset import ERDataset
-from repro.data.io import iter_json_records, open_text, profile_from_record
+from repro.data.io import IngestReport, iter_json_records, profile_from_record
 from repro.data.profile import EntityProfile
 from repro.graph.pruning import (
     BlastPruning,
@@ -38,12 +52,14 @@ from repro.graph.pruning import (
     WeightNodePruning,
 )
 from repro.graph.weights import WeightingScheme
+from repro.reliability import FAULTS
 from repro.schema.partition import AttributePartitioning
 from repro.streaming.index import IncrementalBlockIndex
 from repro.streaming.metablocker import Candidate, StreamingMetaBlocker
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "SnapshotCorruptionError",
     "StreamRecord",
     "ReplayEvent",
     "StreamingSession",
@@ -51,8 +67,17 @@ __all__ = [
     "parse_stream_record",
 ]
 
-#: Version stamp of the snapshot file layout.
-SNAPSHOT_FORMAT = 1
+#: Version stamp of the snapshot file layout.  Format 2 wraps the payload
+#: in a ``{"format", "checksum", "payload"}`` envelope whose CRC32 is
+#: verified on restore; format-1 snapshots (no envelope, no checksum)
+#: still restore.
+SNAPSHOT_FORMAT = 2
+
+
+class SnapshotCorruptionError(ValueError):
+    """A snapshot (or its journal) cannot be trusted: truncated gzip,
+    checksum mismatch, undecodable JSON, or a format newer than this
+    library understands.  The message always names the file and reason."""
 
 
 @dataclass(frozen=True)
@@ -91,9 +116,20 @@ def parse_stream_record(record: dict) -> StreamRecord:
     return StreamRecord(op, profile.profile_id, source, profile)
 
 
-def iter_stream(path: str | Path) -> Iterator[StreamRecord]:
-    """Stream the records of a JSON-lines file, lazily, ``.gz`` aware."""
-    return iter_json_records(path, parse_stream_record)
+def iter_stream(
+    path: str | Path,
+    *,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+) -> Iterator[StreamRecord]:
+    """Stream the records of a JSON-lines file, lazily, ``.gz`` aware.
+
+    ``on_error``/``report`` quarantine malformed lines instead of
+    aborting the replay — see :func:`repro.data.io.iter_json_records`.
+    """
+    return iter_json_records(
+        path, parse_stream_record, on_error=on_error, report=report
+    )
 
 
 class StreamingSession:
@@ -116,6 +152,12 @@ class StreamingSession:
         config's ``pruning_c``/``pruning_d``.
     weighting / consistency / backend:
         Per-parameter overrides of the config values.
+    journal:
+        Optional path of an append-only JSON-lines write-ahead journal.
+        Every ``upsert``/``delete`` is appended (and flushed) *before* it
+        is applied, so a crash at any point loses at most the one
+        operation whose journal line never became durable;
+        :meth:`recover` replays the tail on top of the last snapshot.
 
     Example
     -------
@@ -139,6 +181,7 @@ class StreamingSession:
         weighting: WeightingScheme | str | None = None,
         consistency: str | None = None,
         backend: str | None = None,
+        journal: str | Path | None = None,
     ) -> None:
         config = config or BlastConfig()
         self.config = config
@@ -170,6 +213,21 @@ class StreamingSession:
             backend=backend if backend is not None else config.backend,
         )
         self.default_k = config.stream_query_k
+        self._journal_path: Path | None = None
+        self._journal_handle: IO[str] | None = None
+        self._journal_seq = 0
+        if journal is not None:
+            journal = Path(journal)
+            if journal.exists() and journal.stat().st_size > 0:
+                # Appending seq 1.. on top of an earlier history would
+                # corrupt the journal and silently orphan the records a
+                # crashed session already committed.
+                raise ValueError(
+                    f"journal {journal} already contains records; resume "
+                    "it with StreamingSession.recover(snapshot, journal) "
+                    "or remove the file to start a new history"
+                )
+            self._attach_journal(journal)
 
     @classmethod
     def from_dataset(
@@ -207,10 +265,30 @@ class StreamingSession:
 
     def upsert(self, profile: EntityProfile, source: int = 0) -> int:
         """Insert or replace a profile; returns its stable node id."""
-        return self.index.upsert(profile, source)
+        self._journal_write(
+            {
+                "op": "upsert",
+                "id": profile.profile_id,
+                "source": source,
+                "attributes": [list(pair) for pair in profile.attributes],
+            }
+        )
+        return self._apply_upsert(profile, source)
 
     def delete(self, profile_id: str, source: int = 0) -> bool:
         """Remove a profile; ``False`` when it was not in the index."""
+        self._journal_write(
+            {"op": "delete", "id": profile_id, "source": source}
+        )
+        return self._apply_delete(profile_id, source)
+
+    # The non-journaling halves of the verbs: restore/recover replay
+    # through these so rebuilding state never re-appends to the journal.
+
+    def _apply_upsert(self, profile: EntityProfile, source: int = 0) -> int:
+        return self.index.upsert(profile, source)
+
+    def _apply_delete(self, profile_id: str, source: int = 0) -> bool:
         return self.index.delete(profile_id, source)
 
     def candidates(
@@ -261,10 +339,40 @@ class StreamingSession:
         and every live profile in node-id order, so :meth:`restore`
         rebuilds an equivalent session (identical canonical ids, identical
         query results) without re-running schema extraction.
+
+        The write is atomic: the document goes to a same-directory temp
+        file that is fsynced and then :func:`os.replace`d over *path*, so
+        a crash mid-write leaves the previous snapshot intact.  The
+        payload's CRC32 travels in the envelope and is verified on
+        :meth:`restore`.
         """
-        index = self.index
-        payload = {
+        path = Path(path)
+        payload = self._snapshot_payload()
+        body = _canonical_payload_bytes(payload)
+        document = {
             "format": SNAPSHOT_FORMAT,
+            "checksum": zlib.crc32(body),
+            "payload": payload,
+        }
+        data = json.dumps(document, ensure_ascii=False).encode("utf-8") + b"\n"
+        if path.suffix == ".gz":
+            # mtime=0 keeps the compressed bytes deterministic.
+            data = gzip.compress(data, mtime=0)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                handle.write(data)
+                handle.flush()
+                FAULTS.fire("snapshot.write", path=tmp)
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def _snapshot_payload(self) -> dict:
+        index = self.index
+        return {
             "kind": "clean-clean" if index.clean_clean else "dirty",
             "index": {
                 "min_token_length": index.min_token_length,
@@ -286,6 +394,11 @@ class StreamingSession:
             # it so posting-list key ids survive the round trip even
             # through upsert -> delete -> upsert histories.
             "dictionary": index.key_dictionary.to_payload(),
+            # Every (source, id) -> node assignment ever made, tombstones
+            # included: restore pre-seeds it so node ids — and with them
+            # the equal-weight neighbor ordering — survive upsert ->
+            # delete -> upsert histories.
+            "nodes": index.node_map_payload(),
             "partitioning": (
                 index.partitioning.to_dict()
                 if index.partitioning is not None
@@ -302,20 +415,23 @@ class StreamingSession:
                 }
                 for node in index.live_nodes()
             ],
+            # The journal position this state already reflects: recover()
+            # replays only lines with a greater sequence number.
+            "journal_seq": self._journal_seq,
         }
-        with open_text(path, "w") as handle:
-            json.dump(payload, handle, ensure_ascii=False)
-            handle.write("\n")
 
     @classmethod
     def restore(cls, path: str | Path) -> "StreamingSession":
-        """Rebuild a session from a :meth:`snapshot` file."""
-        with open_text(path) as handle:
-            payload = json.load(handle)
-        if payload.get("format") != SNAPSHOT_FORMAT:
-            raise ValueError(
-                f"{path}: unsupported snapshot format {payload.get('format')!r}"
-            )
+        """Rebuild a session from a :meth:`snapshot` file.
+
+        Raises :class:`SnapshotCorruptionError` when the file is
+        truncated, fails its checksum, is not decodable JSON, or claims a
+        format this library does not understand.
+        """
+        return cls._from_payload(_read_snapshot(path))
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "StreamingSession":
         meta = payload["metablocker"]
         session = cls.__new__(cls)
         partitioning = (
@@ -360,12 +476,135 @@ class StreamingSession:
             consistency=meta["consistency"],
             backend=meta["backend"],
         )
+        session.index.seed_node_map(payload.get("nodes") or ())
         session.default_k = payload.get("default_k")
+        session._journal_path = None
+        session._journal_handle = None
+        session._journal_seq = int(payload.get("journal_seq", 0))
         for record in payload["profiles"]:
-            session.upsert(
+            session._apply_upsert(
                 profile_from_record(record), source=int(record.get("source", 0))
             )
         return session
+
+    @classmethod
+    def recover(
+        cls,
+        snapshot: str | Path | None,
+        journal: str | Path,
+        *,
+        session_factory: Callable[[], "StreamingSession"] | None = None,
+    ) -> "StreamingSession":
+        """Rebuild the exact pre-crash session: snapshot + journal tail.
+
+        Restores *snapshot*, then replays every journal line whose
+        sequence number the snapshot does not already cover.  A torn
+        final line (no trailing newline — the crash interrupted the
+        append) is discarded and truncated away; a *committed*
+        (newline-terminated) but undecodable line means real corruption
+        and raises :class:`SnapshotCorruptionError`, as does a journal
+        that ends before the snapshot's recorded position.
+
+        When the crash predated the first snapshot, *snapshot* may be
+        ``None`` or name a file that does not exist yet: recovery then
+        starts from a fresh session built by *session_factory* (the
+        caller supplies the configuration the snapshot would otherwise
+        carry; the factory must not attach a journal itself) and replays
+        the whole journal.
+
+        The returned session has the journal re-attached in append mode,
+        so it continues exactly like a session that never crashed —
+        neighborhoods, candidates, and future snapshots are bit-for-bit
+        identical.
+        """
+        journal = Path(journal)
+        if snapshot is not None and Path(snapshot).exists():
+            session = cls._from_payload(_read_snapshot(snapshot))
+        elif session_factory is not None:
+            session = session_factory()
+            if session.journal_path is not None:
+                raise ValueError(
+                    "session_factory must build an unjournaled session; "
+                    "recover() attaches the journal itself"
+                )
+        elif snapshot is None:
+            raise TypeError(
+                "recover() without a snapshot path requires session_factory="
+            )
+        else:
+            # A named-but-missing snapshot and no fallback factory: let
+            # the read raise the usual FileNotFoundError.
+            session = cls._from_payload(_read_snapshot(snapshot))
+        base_seq = session._journal_seq
+        applied_seq = base_seq
+        max_seen = 0
+        for record in _read_journal(journal):
+            seq = int(record.get("seq", 0))
+            max_seen = max(max_seen, seq)
+            if seq <= base_seq:
+                continue
+            if seq != applied_seq + 1:
+                raise SnapshotCorruptionError(
+                    f"{journal}: journal jumps from seq {applied_seq} to "
+                    f"{seq}; records are missing"
+                )
+            if record.get("op") == "delete":
+                session._apply_delete(
+                    str(record["id"]), int(record.get("source", 0))
+                )
+            else:
+                session._apply_upsert(
+                    profile_from_record(record), int(record.get("source", 0))
+                )
+            applied_seq = seq
+        if max_seen < base_seq:
+            raise SnapshotCorruptionError(
+                f"{journal}: journal ends at seq {max_seen} but the snapshot "
+                f"already reflects seq {base_seq}; wrong or truncated journal"
+            )
+        session._journal_seq = applied_seq
+        session._attach_journal(journal)
+        return session
+
+    # -- journal --------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path | None:
+        """The attached write-ahead journal, or ``None``."""
+        return self._journal_path
+
+    def _attach_journal(self, path: str | Path) -> None:
+        self._journal_path = Path(path)
+        self._journal_handle = self._journal_path.open(
+            "a", encoding="utf-8", newline="\n"
+        )
+
+    def _journal_write(self, record: dict) -> None:
+        if self._journal_handle is None:
+            return
+        self._journal_seq += 1
+        record = {"seq": self._journal_seq, **record}
+        # WAL contract: the line is appended and flushed *before* the
+        # operation is applied; a record is committed once its newline
+        # reaches the OS.  The two fault sites bracket the commit point.
+        FAULTS.fire("journal.append", path=self._journal_path)
+        self._journal_handle.write(
+            json.dumps(record, ensure_ascii=False) + "\n"
+        )
+        self._journal_handle.flush()
+        FAULTS.fire("journal.apply", path=self._journal_path)
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent; no-op when unjournaled)."""
+        if self._journal_handle is not None:
+            self._journal_handle.close()
+            self._journal_handle = None
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (
@@ -373,6 +612,106 @@ class StreamingSession:
             f"keys={self.index.num_blocks}, "
             f"consistency={self.metablocker.consistency!r})"
         )
+
+
+# -- snapshot & journal files -------------------------------------------------
+
+def _canonical_payload_bytes(payload: dict) -> bytes:
+    """The byte string the snapshot checksum is computed over.
+
+    Canonical JSON (sorted keys, no whitespace) so the checksum depends
+    only on the payload's *content*, not on serializer formatting.
+    """
+    return json.dumps(
+        payload, ensure_ascii=False, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _read_snapshot(path: str | Path) -> dict:
+    """Read, verify, and unwrap a snapshot file; returns the payload.
+
+    Understands the format-2 checksum envelope and bare format-1
+    documents.  Every way the file can be untrustworthy — truncated gzip
+    stream, undecodable JSON, checksum mismatch, future format — raises
+    :class:`SnapshotCorruptionError` naming the path and the reason.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if path.suffix == ".gz":
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError, zlib.error) as exc:
+            raise SnapshotCorruptionError(
+                f"{path}: truncated or corrupt gzip stream ({exc})"
+            ) from exc
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotCorruptionError(
+            f"{path}: snapshot is not decodable JSON ({exc})"
+        ) from exc
+    if not isinstance(document, dict):
+        raise SnapshotCorruptionError(
+            f"{path}: snapshot is not a JSON object"
+        )
+    version = document.get("format")
+    if version == 1:
+        # Pre-envelope layout: the document *is* the payload, unchecked.
+        return document
+    if version != SNAPSHOT_FORMAT:
+        raise SnapshotCorruptionError(
+            f"{path}: unsupported snapshot format {version!r} "
+            f"(this library reads formats 1..{SNAPSHOT_FORMAT})"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise SnapshotCorruptionError(
+            f"{path}: format-2 snapshot has no payload object"
+        )
+    expected = document.get("checksum")
+    actual = zlib.crc32(_canonical_payload_bytes(payload))
+    if expected != actual:
+        raise SnapshotCorruptionError(
+            f"{path}: checksum mismatch (stored {expected!r}, "
+            f"computed {actual}); the snapshot is corrupt"
+        )
+    return payload
+
+
+def _read_journal(path: Path) -> Iterator[dict]:
+    """Yield the committed records of a write-ahead journal.
+
+    A record is committed once its trailing newline is on disk; a torn
+    final line (the crash interrupted the append) is dropped and
+    truncated away so the journal is clean for re-attachment.  A
+    *committed* line that does not decode is real corruption and raises
+    :class:`SnapshotCorruptionError`.  A missing file reads as empty
+    (the crash predated the first append).
+    """
+    if not path.exists():
+        return
+    raw = path.read_bytes()
+    committed, _, torn = raw.rpartition(b"\n")
+    if torn:
+        with path.open("r+b") as handle:
+            handle.truncate(len(raw) - len(torn))
+    if not committed:
+        return
+    for line_no, line in enumerate(committed.split(b"\n"), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotCorruptionError(
+                f"{path}:{line_no}: committed journal line is not "
+                f"decodable JSON ({exc})"
+            ) from exc
+        if not isinstance(record, dict):
+            raise SnapshotCorruptionError(
+                f"{path}:{line_no}: journal line is not a JSON object"
+            )
+        yield record
 
 
 # -- pruning (de)serialization -----------------------------------------------

@@ -1,0 +1,61 @@
+"""RL006 fixtures that MUST fire: bare excepts and swallowed broad catches."""
+
+import builtins
+
+
+def bare_except(task) -> None:
+    try:
+        task()
+    except:  # RL006: bare except catches BaseException
+        print("failed")
+
+
+def bare_except_reraise(task) -> None:
+    try:
+        task()
+    except:  # RL006: still bare — KeyboardInterrupt reaches the cleanup
+        task.cleanup()
+        raise
+
+
+def swallow_exception(task) -> None:
+    try:
+        task()
+    except Exception:  # RL006: broad catch, pass-only body
+        pass
+
+
+def swallow_exception_as(task) -> None:
+    try:
+        task()
+    except Exception as exc:  # RL006: naming the exception changes nothing
+        ...
+
+
+def swallow_base_exception(task) -> None:
+    try:
+        task()
+    except BaseException:  # RL006: broadest possible catch, discarded
+        pass
+
+
+def swallow_qualified(task) -> None:
+    try:
+        task()
+    except builtins.Exception:  # RL006: qualified broad catch, discarded
+        pass
+
+
+def swallow_in_tuple(task) -> None:
+    try:
+        task()
+    except (ValueError, Exception):  # RL006: the tuple contains Exception
+        pass
+
+
+def swallow_in_loop(tasks) -> None:
+    for task in tasks:
+        try:
+            task()
+        except Exception:  # RL006: continue is as silent as pass
+            continue

@@ -1,0 +1,50 @@
+"""RL006 fixtures that must stay SILENT: handled, logged, narrow, re-raised."""
+
+import warnings
+
+
+def narrow_quarantine(record: dict) -> dict | None:
+    # Quarantining a *specific* anticipated failure is the on_error="skip"
+    # pattern and stays legal.
+    try:
+        return {"id": record["id"]}
+    except KeyError:
+        return None
+
+
+def narrow_pass(text: str) -> float:
+    result = 0.0
+    try:
+        result = float(text)
+    except ValueError:
+        pass
+    return result
+
+
+def broad_but_logged(task) -> None:
+    try:
+        task()
+    except Exception as exc:
+        warnings.warn(f"task failed: {exc!r}", RuntimeWarning, stacklevel=2)
+
+
+def broad_but_reraised(task, pool) -> None:
+    try:
+        task()
+    except Exception:
+        pool.terminate()
+        raise
+
+
+def broad_but_recorded(task, errors: list) -> None:
+    try:
+        task()
+    except Exception as exc:
+        errors.append(exc)
+
+
+def narrow_tuple(record: dict) -> dict | None:
+    try:
+        return {"id": str(record["id"])}
+    except (KeyError, TypeError, ValueError):
+        return None

@@ -18,6 +18,7 @@ CASES = {
     "RL003": ("rl003_bad.py", 5, "rl003_good.py"),
     "RL004": ("rl004_bad.py", 5, "rl004_good.py"),
     "RL005": ("rl005_bad.py", 4, "rl005_good.py"),
+    "RL006": ("rl006_bad.py", 8, "rl006_good.py"),
 }
 
 

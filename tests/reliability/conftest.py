@@ -1,0 +1,15 @@
+"""Shared guard: no test may leak armed faults into the next one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    yield
+    leaked = FAULTS.armed_specs()
+    FAULTS.clear()
+    assert not leaked, f"test leaked armed faults: {leaked}"

@@ -1,0 +1,156 @@
+"""Unit tests for the fault injector: spec parsing, arming, firing."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.reliability import (
+    FAULT_ACTIONS,
+    FAULTS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_specs,
+)
+from repro.reliability.faults import KILL_EXIT_CODE
+
+
+class TestSpecParsing:
+    def test_simple_spec(self):
+        (spec,) = parse_fault_specs("parallel.worker=kill")
+        assert spec == FaultSpec("parallel.worker", "kill")
+
+    def test_value_and_hit_window(self):
+        (spec,) = parse_fault_specs("journal.apply=delay:0.25@2-4")
+        assert spec.action == "delay"
+        assert spec.value == 0.25
+        assert spec.hits == frozenset({2, 3, 4})
+
+    def test_single_hit(self):
+        (spec,) = parse_fault_specs("snapshot.write=truncate:64@1")
+        assert spec.hits == frozenset({1})
+        assert spec.value == 64.0
+
+    def test_multiple_specs_with_either_separator(self):
+        specs = parse_fault_specs(
+            "a=kill; b=raise@1, c=delay:0.1"
+        )
+        assert [s.site for s in specs] == ["a", "b", "c"]
+
+    def test_empty_spec_is_no_faults(self):
+        assert parse_fault_specs("") == []
+        assert parse_fault_specs(" ; , ") == []
+
+    @pytest.mark.parametrize("text", [
+        "noequals",
+        "site=explode",          # unknown action
+        "site=kill@0",           # hits are 1-based
+        "site=kill@3-2",         # empty window
+        "=kill",                 # empty site
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_fault_specs(text)
+
+    def test_every_documented_action_parses(self):
+        for action in sorted(FAULT_ACTIONS):
+            (spec,) = parse_fault_specs(f"site={action}:1")
+            assert spec.action == action
+
+
+class TestArming:
+    def test_unarmed_fire_is_a_no_op(self):
+        FaultInjector().fire("anything")  # must not raise
+
+    def test_injected_context_manager_cleans_up(self):
+        injector = FaultInjector()
+        with injector.injected("site", "raise"):
+            assert injector.active
+            with pytest.raises(InjectedFault):
+                injector.fire("site")
+        assert not injector.active
+        injector.fire("site")  # disarmed again
+
+    def test_hit_window_limits_firing(self):
+        injector = FaultInjector()
+        injector.arm("site", action="raise", hits=2)
+        injector.fire("site")  # hit 1: outside the window
+        with pytest.raises(InjectedFault):
+            injector.fire("site")  # hit 2
+        injector.fire("site")  # hit 3: window passed
+        injector.clear()
+
+    def test_clear_by_site(self):
+        injector = FaultInjector()
+        injector.arm("a", action="raise")
+        injector.arm("b", action="raise")
+        injector.clear("a")
+        injector.fire("a")
+        with pytest.raises(InjectedFault):
+            injector.fire("b")
+        injector.clear()
+
+    def test_from_env_arms_the_spec(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "x=raise@1")
+        injector = FaultInjector.from_env()
+        assert [s.site for s in injector.armed_specs()] == ["x"]
+
+
+class TestFileActions:
+    def test_truncate_halves_by_default(self, tmp_path):
+        target = tmp_path / "f.bin"
+        target.write_bytes(b"x" * 100)
+        injector = FaultInjector()
+        with injector.injected("io", "truncate"):
+            injector.fire("io", path=target)
+        assert target.stat().st_size == 50
+
+    def test_truncate_to_explicit_size(self, tmp_path):
+        target = tmp_path / "f.bin"
+        target.write_bytes(b"x" * 100)
+        injector = FaultInjector()
+        with injector.injected("io", "truncate", value=7):
+            injector.fire("io", path=target)
+        assert target.stat().st_size == 7
+
+    def test_corrupt_flips_one_byte(self, tmp_path):
+        target = tmp_path / "f.bin"
+        target.write_bytes(bytes(range(10)))
+        injector = FaultInjector()
+        with injector.injected("io", "corrupt", value=3):
+            injector.fire("io", path=target)
+        data = target.read_bytes()
+        assert data[3] == 3 ^ 0xFF
+        assert [b for i, b in enumerate(data) if i != 3] == [
+            b for i, b in enumerate(range(10)) if i != 3
+        ]
+
+    def test_file_actions_need_a_path(self):
+        injector = FaultInjector()
+        with injector.injected("io", "truncate"):
+            with pytest.raises(ValueError, match="path"):
+                injector.fire("io")
+
+
+class TestKill:
+    def test_kill_exits_with_the_marker_code(self):
+        code = (
+            "from repro.reliability import FaultInjector\n"
+            "injector = FaultInjector()\n"
+            "injector.arm('site', action='kill')\n"
+            "injector.fire('site')\n"
+            "raise SystemExit(0)  # unreachable\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True
+        )
+        assert result.returncode == KILL_EXIT_CODE
+
+
+class TestGlobalInjector:
+    def test_global_injector_starts_unarmed(self):
+        # The suite environment must not leak REPRO_FAULTS into tests.
+        assert not FAULTS.active

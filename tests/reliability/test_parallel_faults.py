@@ -1,0 +1,155 @@
+"""Fault-injected parallel execution: retry, fallback, bit-identity.
+
+The acceptance contract of the reliability layer: under injected worker
+death, task failure, or task delay, ``parallel_metablocking`` returns
+exactly what the serial oracle returns — the faults cost retries and
+wall-clock, never edges.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro.blocking.base import build_blocks
+from repro.graph import WeightingScheme
+from repro.graph.parallel import WORKER_FAULT_SITE, parallel_metablocking
+from repro.graph.pruning import BlastPruning
+from repro.graph.vectorized import vectorized_metablocking
+from repro.reliability import FAULTS, RetryPolicy
+
+
+@pytest.fixture
+def blocks():
+    return build_blocks(
+        {"a": {0, 1, 2}, "b": {1, 2, 3}, "c": {0, 3}, "d": {2, 3, 4},
+         "e": {0, 4}, "f": {1, 4}},
+        is_clean_clean=False,
+    )
+
+
+@pytest.fixture
+def oracle(blocks):
+    return vectorized_metablocking(
+        blocks, weighting=WeightingScheme.CHI_H, pruning=BlastPruning()
+    )
+
+
+def run_parallel(blocks, **kwargs):
+    return parallel_metablocking(
+        blocks, weighting=WeightingScheme.CHI_H, pruning=BlastPruning(),
+        workers=2, shard_size=3, **kwargs,
+    )
+
+
+@pytest.fixture
+def fork_only():
+    if multiprocessing.get_start_method(allow_none=False) != "fork":
+        pytest.skip("programmatically armed faults require fork workers")
+
+
+class TestInjectedTaskFailure:
+    def test_first_task_fails_then_retry_succeeds(
+        self, blocks, oracle, fork_only
+    ):
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise", hits=1):
+            assert run_parallel(blocks) == oracle
+
+    def test_poisoned_shards_degrade_to_serial(
+        self, blocks, oracle, fork_only
+    ):
+        # Every pool attempt fails; the dispatcher must fall back to
+        # in-process execution and still match the oracle bit for bit.
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise"):
+            with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                result = run_parallel(
+                    blocks,
+                    retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+                )
+        assert result == oracle
+
+    def test_zero_retries_still_completes_serially(
+        self, blocks, oracle, fork_only
+    ):
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise"):
+            with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                result = run_parallel(
+                    blocks,
+                    retry_policy=RetryPolicy(max_retries=0, backoff_base=0.0),
+                )
+        assert result == oracle
+
+    def test_no_worker_processes_leak(self, blocks, fork_only):
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                run_parallel(
+                    blocks,
+                    retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+                )
+        for child in multiprocessing.active_children():
+            child.join(timeout=5)
+        assert multiprocessing.active_children() == []
+
+
+class TestInjectedWorkerDeath:
+    def test_killed_worker_detected_by_timeout_and_retried(
+        self, blocks, oracle, fork_only
+    ):
+        # The first shard task os._exit()s mid-shard: the pool loses the
+        # task silently, so only the per-task timeout can recover it.
+        with FAULTS.injected(WORKER_FAULT_SITE, "kill", hits=1):
+            result = run_parallel(
+                blocks,
+                retry_policy=RetryPolicy(
+                    max_retries=2, task_timeout=2.0, backoff_base=0.0
+                ),
+            )
+        assert result == oracle
+
+    def test_every_worker_killed_degrades_to_serial(
+        self, blocks, oracle, fork_only
+    ):
+        with FAULTS.injected(WORKER_FAULT_SITE, "kill"):
+            with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                result = run_parallel(
+                    blocks,
+                    retry_policy=RetryPolicy(
+                        max_retries=1, task_timeout=1.0, backoff_base=0.0
+                    ),
+                )
+        assert result == oracle
+
+
+class TestInjectedDelay:
+    def test_slow_task_times_out_and_retries(self, blocks, oracle, fork_only):
+        with FAULTS.injected(WORKER_FAULT_SITE, "delay", value=1.5, hits=1):
+            result = run_parallel(
+                blocks,
+                retry_policy=RetryPolicy(
+                    max_retries=2, task_timeout=0.3, backoff_base=0.0
+                ),
+            )
+        assert result == oracle
+
+
+class TestKnobPlumbing:
+    def test_timeout_and_retry_shorthands(self, blocks, oracle):
+        assert run_parallel(blocks, task_timeout=30.0, max_retries=1) == oracle
+
+    def test_shorthands_conflict_with_explicit_policy(self, blocks):
+        with pytest.raises(ValueError, match="retry_policy"):
+            run_parallel(
+                blocks, task_timeout=1.0, retry_policy=RetryPolicy()
+            )
+
+    def test_invalid_knobs_rejected(self, blocks):
+        with pytest.raises(ValueError, match="task_timeout"):
+            run_parallel(blocks, task_timeout=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            run_parallel(blocks, max_retries=-1)
+
+    def test_faultless_run_matches_oracle(self, blocks, oracle):
+        assert run_parallel(blocks) == oracle

@@ -1,0 +1,54 @@
+"""Unit tests for RetryPolicy: validation and deterministic backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.attempts == 3
+        assert policy.task_timeout is None
+
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"max_retries": -1}, "max_retries"),
+        ({"task_timeout": 0}, "task_timeout"),
+        ({"task_timeout": -1.5}, "task_timeout"),
+        ({"backoff_base": -0.1}, "backoff_base"),
+        ({"backoff_base": 3.0, "backoff_cap": 2.0}, "backoff_cap"),
+    ])
+    def test_bad_fields_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_zero_retries_still_runs_once(self):
+        assert RetryPolicy(max_retries=0).attempts == 1
+        assert RetryPolicy(max_retries=0).delays() == []
+
+
+class TestBackoff:
+    def test_delays_are_deterministic(self):
+        a = RetryPolicy(max_retries=5, seed=7)
+        b = RetryPolicy(max_retries=5, seed=7)
+        assert a.delays() == b.delays()
+
+    def test_seed_changes_the_jitter(self):
+        assert RetryPolicy(seed=0).delays() != RetryPolicy(seed=1).delays()
+
+    def test_nominal_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_retries=8, backoff_base=0.1, backoff_cap=0.4, seed=3
+        )
+        for attempt in range(1, 9):
+            nominal = min(0.4, 0.1 * 2 ** (attempt - 1))
+            delay = policy.delay(attempt)
+            # Jitter scales by a factor in [0.5, 1.0].
+            assert 0.5 * nominal <= delay <= nominal
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay(0)

@@ -1,0 +1,166 @@
+"""Quarantine-tolerant ingest: malformed, duplicate, and empty inputs."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.data import IngestIssue, IngestReport
+from repro.data.io import load_collection, iter_collection
+from repro.reliability import FAULTS
+from repro.streaming import iter_stream
+
+
+GOOD = '{"id": "a", "attributes": [["name", "john"]]}\n'
+
+
+def write_lines(path, *lines):
+    path.write_text("".join(lines), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def mixed_file(tmp_path):
+    """Two good records around one malformed, one id-less, one duplicate."""
+    return write_lines(
+        tmp_path / "mixed.jsonl",
+        GOOD,
+        "this is not json\n",
+        '{"attributes": [["name", "no id"]]}\n',
+        '{"id": "b", "attributes": [["name", "ellen"]]}\n',
+        '{"id": "a", "attributes": [["name", "john again"]]}\n',
+    )
+
+
+class TestRaiseMode:
+    def test_malformed_line_aborts_with_path_and_line(self, mixed_file):
+        with pytest.raises(ValueError, match=r"mixed\.jsonl:2.*malformed"):
+            list(iter_collection(mixed_file))
+
+    def test_raise_is_the_default(self, mixed_file):
+        with pytest.raises(ValueError):
+            load_collection(mixed_file)
+
+    def test_clean_file_loads_without_a_report(self, tmp_path):
+        path = write_lines(tmp_path / "clean.jsonl", GOOD)
+        collection = load_collection(path)
+        assert [p.profile_id for p in collection] == ["a"]
+
+
+class TestSkipAndCollect:
+    def test_skip_keeps_the_good_records(self, mixed_file):
+        report = IngestReport()
+        collection = load_collection(
+            mixed_file, on_error="skip", report=report
+        )
+        assert [p.profile_id for p in collection] == ["a", "b"]
+        assert (report.loaded, report.skipped) == (2, 3)
+        assert report.issues == []  # detail is collect-only
+        assert not report.ok
+
+    def test_collect_records_one_issue_per_quarantined_line(self, mixed_file):
+        report = IngestReport()
+        load_collection(mixed_file, on_error="collect", report=report)
+        assert len(report.issues) == 3
+        reasons = [issue.reason for issue in report.issues]
+        assert all("malformed" in r for r in reasons[:2])
+        assert "duplicate profile_id 'a'" in reasons[2]
+        # Line numbers point at the bad lines; the duplicate is a property
+        # of the pair, not one line.
+        assert [issue.line_no for issue in report.issues] == [2, 3, None]
+        assert str(mixed_file) in str(report.issues[0])
+
+    def test_duplicate_keeps_the_first_occurrence(self, mixed_file):
+        report = IngestReport()
+        collection = load_collection(
+            mixed_file, on_error="collect", report=report
+        )
+        (kept,) = [p for p in collection if p.profile_id == "a"]
+        assert kept.attributes == (("name", "john"),)
+
+    def test_empty_file_is_a_clean_report(self, tmp_path):
+        report = IngestReport()
+        collection = load_collection(
+            write_lines(tmp_path / "empty.jsonl"),
+            on_error="collect",
+            report=report,
+        )
+        assert len(collection) == 0
+        assert report.ok
+        assert report.summary() == "ingested 0 records"
+
+    def test_skip_without_a_report_still_works(self, mixed_file):
+        ids = [p.profile_id for p in load_collection(mixed_file, on_error="skip")]
+        assert ids == ["a", "b"]
+
+    def test_gzip_inputs_quarantine_the_same(self, mixed_file, tmp_path):
+        gz = tmp_path / "mixed.jsonl.gz"
+        gz.write_bytes(gzip.compress(mixed_file.read_bytes()))
+        report = IngestReport()
+        collection = load_collection(gz, on_error="collect", report=report)
+        assert [p.profile_id for p in collection] == ["a", "b"]
+        assert (report.loaded, report.skipped) == (2, 3)
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self, mixed_file):
+        with pytest.raises(ValueError, match="on_error"):
+            list(iter_collection(mixed_file, on_error="ignore"))
+
+    def test_collect_requires_a_report(self, mixed_file):
+        with pytest.raises(ValueError, match="report"):
+            list(iter_collection(mixed_file, on_error="collect"))
+
+
+class TestStreamIngest:
+    def test_stream_records_quarantine_too(self, tmp_path):
+        path = write_lines(
+            tmp_path / "stream.jsonl",
+            GOOD,
+            '{"op": "explode", "id": "a"}\n',
+            '{"op": "delete", "id": "a"}\n',
+        )
+        report = IngestReport()
+        records = list(
+            iter_stream(path, on_error="collect", report=report)
+        )
+        assert [r.op for r in records] == ["upsert", "delete"]
+        assert (report.loaded, report.skipped) == (2, 1)
+        assert "unknown stream op" in report.issues[0].reason
+
+
+class TestInjectedIngestFaults:
+    def test_injected_fault_aborts_in_raise_mode(self, tmp_path):
+        path = write_lines(tmp_path / "ok.jsonl", GOOD)
+        with FAULTS.injected("ingest.record", "raise"):
+            with pytest.raises(ValueError, match="malformed record"):
+                list(iter_collection(path))
+
+    def test_injected_fault_is_quarantined_in_skip_mode(self, tmp_path):
+        path = write_lines(
+            tmp_path / "ok.jsonl",
+            GOOD,
+            '{"id": "b", "attributes": [["name", "ellen"]]}\n',
+        )
+        report = IngestReport()
+        with FAULTS.injected("ingest.record", "raise", hits=1):
+            ids = [
+                p.profile_id
+                for p in iter_collection(
+                    path, on_error="collect", report=report
+                )
+            ]
+        assert ids == ["b"]  # the faulted record was dropped, not fatal
+        assert (report.loaded, report.skipped) == (1, 1)
+        assert "injected" in report.issues[0].reason.lower()
+
+
+class TestIngestIssueRendering:
+    def test_issue_with_line_number(self):
+        issue = IngestIssue("data.jsonl", 7, "malformed record: boom")
+        assert str(issue) == "data.jsonl:7: malformed record: boom"
+
+    def test_issue_without_line_number(self):
+        issue = IngestIssue("data.jsonl", None, "duplicate profile_id 'a'")
+        assert str(issue) == "data.jsonl: duplicate profile_id 'a'"

@@ -244,7 +244,8 @@ class TestDictionaryRoundTrip:
         path = tmp_path / "snap.json.gz"
         session.snapshot(path)
         with gzip.open(path, "rt", encoding="utf-8") as handle:
-            payload = json.load(handle)
+            document = json.load(handle)
+        payload = document["payload"]
         assert payload["dictionary"] == session.index.key_dictionary.to_payload()
 
     def test_restore_without_dictionary_field_still_works(self, tmp_path):
@@ -257,8 +258,12 @@ class TestDictionaryRoundTrip:
         path = tmp_path / "snap.json.gz"
         session.snapshot(path)
         with gzip.open(path, "rt", encoding="utf-8") as handle:
-            payload = json.load(handle)
+            document = json.load(handle)
+        # Re-shape into a format-1 document: payload at top level, no
+        # checksum envelope, no dictionary field.
+        payload = document["payload"]
         del payload["dictionary"]
+        payload["format"] = 1
         legacy_path = tmp_path / "legacy.json"
         legacy_path.write_text(json.dumps(payload), encoding="utf-8")
         restored = StreamingSession.restore(legacy_path)
