@@ -1,0 +1,330 @@
+#!/usr/bin/env python
+"""Serving-layer load benchmark: concurrent tenants over real TCP.
+
+Boots a :class:`repro.serving.ReproServer` on a loopback port and drives
+it with one pipelined connection per tenant (default: 8 tenants), each
+replaying a mixed workload — upserts from a generated ar1 stream with
+interleaved arrival-time queries and occasional deletes — through a
+bounded in-flight window.  ``overloaded`` responses are retried with
+backoff and counted; every operation must eventually be acknowledged
+(zero dropped acks is a hard SLO, not a statistic).
+
+Client-side end-to-end latency (send -> matching in-order response) is
+recorded per verb; the report carries p50/p95/p99 tails, sustained
+throughput, retry counts, and the server's own ``stats`` roll-up
+(observed batch sizes, queue depths, eviction/recovery counters).
+Results are written as JSON (default: ``BENCH_serving.json`` at the
+repository root) so serving behavior under load is a recorded,
+regression-checkable artifact::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py             # full run
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke \\
+        --max-p95-ms 250                                          # CI gate
+
+Not a pytest module — run it as a script (like ``bench_streaming.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import tempfile
+import time
+from collections import deque
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import BlastConfig  # noqa: E402
+from repro.datasets import load_clean_clean  # noqa: E402
+from repro.serving import ReproServer, ServingClient, TenantRegistry  # noqa: E402
+
+#: Profiles per unit scale of the "ar1" generator (size1 + size2).
+_AR1_PROFILES_PER_SCALE = 650 + 580
+
+#: One query is interleaved per this many upserts, one delete per
+#: this many upserts (the "mixed load" shape).
+_QUERY_EVERY = 5
+_DELETE_EVERY = 17
+
+
+def build_ops(
+    tenant_id: str, profiles: int, seed: int, settle_lag: int
+) -> list[dict]:
+    """The mixed op stream of one tenant, as protocol request records.
+
+    Queries run between write batches, so a pipelined query can reach
+    the session before a still-queued upsert of its target applies.
+    With a bounded in-flight window of W, any op sent ≥ W ops after its
+    target's upsert is ordered behind that upsert's ack — so queries and
+    deletes only target profiles upserted at least *settle_lag* (> W)
+    ops earlier, and every op in the replay must then be acked ``ok``.
+    """
+    scale = profiles / _AR1_PROFILES_PER_SCALE
+    dataset = load_clean_clean("ar1", scale=scale, seed=seed)
+    rng = random.Random(seed)
+    ops: list[dict] = []
+    pending: deque[tuple[int, str, int]] = deque()
+    settled: dict[str, int] = {}
+    upserts = 0
+    for gidx, profile in dataset.iter_profiles():
+        source = dataset.source_of(gidx)
+        ops.append(
+            {
+                "v": "upsert",
+                "tenant": tenant_id,
+                "id": profile.profile_id,
+                "source": source,
+                "attributes": [list(pair) for pair in profile.attributes],
+            }
+        )
+        pending.append((len(ops) - 1, profile.profile_id, source))
+        upserts += 1
+        while pending and pending[0][0] <= len(ops) - settle_lag:
+            _, pid, psource = pending.popleft()
+            settled[pid] = psource
+        if upserts % _QUERY_EVERY == 0 and settled:
+            qid = rng.choice(sorted(settled))
+            ops.append(
+                {"v": "query", "tenant": tenant_id, "id": qid,
+                 "k": 10, "source": settled[qid]}
+            )
+        if upserts % _DELETE_EVERY == 0 and len(settled) > 1:
+            did = rng.choice(sorted(settled))
+            ops.append(
+                {"v": "delete", "tenant": tenant_id, "id": did,
+                 "source": settled.pop(did)}
+            )
+    return ops
+
+
+async def tenant_worker(
+    host: str,
+    port: int,
+    ops: list[dict],
+    window: int,
+    latencies: dict[str, list[float]],
+    counters: dict[str, int],
+) -> None:
+    """Replay *ops* over one pipelined connection with bounded in-flight.
+
+    In-order responses are matched to sends positionally; ``overloaded``
+    responses re-enqueue the op after a backoff.  Any other refusal
+    counts as a dropped ack (the SLO the gate enforces at zero).
+    """
+    client = await ServingClient.connect(host, port)
+    queue = deque(ops)
+    inflight: deque[tuple[dict, float]] = deque()
+    backoff = 0.005
+    try:
+        while queue or inflight:
+            while queue and len(inflight) < window:
+                record = queue.popleft()
+                client._writer.write(
+                    json.dumps(record).encode("utf-8") + b"\n"
+                )
+                inflight.append((record, time.perf_counter()))
+            await client._writer.drain()
+            line = await client._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            record, sent = inflight.popleft()
+            elapsed = time.perf_counter() - sent
+            response = json.loads(line)
+            if response.get("ok"):
+                latencies[record["v"]].append(elapsed)
+                counters["acked"] += 1
+                backoff = 0.005
+            elif response.get("error") == "overloaded":
+                counters["overload_retries"] += 1
+                queue.append(record)
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.25)
+            else:
+                counters["dropped_acks"] += 1
+    finally:
+        await client.close()
+
+
+def percentiles(samples: list[float]) -> dict[str, float]:
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    array = np.asarray(samples, dtype=np.float64) * 1e3
+    return {
+        "p50": round(float(np.percentile(array, 50)), 4),
+        "p95": round(float(np.percentile(array, 95)), 4),
+        "p99": round(float(np.percentile(array, 99)), 4),
+        "max": round(float(array.max()), 4),
+    }
+
+
+async def run_async(args: argparse.Namespace, data_dir: Path) -> dict:
+    profiles = 150 if args.smoke else args.profiles_per_tenant
+    tenant_ids = [f"bench-{index:02d}" for index in range(args.tenants)]
+    print(
+        f"building {args.tenants} tenant workloads "
+        f"(~{profiles} profiles each, seed={args.seed}) ..."
+    )
+    workloads = {
+        tenant_id: build_ops(
+            tenant_id, profiles, args.seed + index,
+            settle_lag=2 * args.window,
+        )
+        for index, tenant_id in enumerate(tenant_ids)
+    }
+    total_ops = sum(len(ops) for ops in workloads.values())
+
+    config = BlastConfig(
+        weighting=args.weighting,
+        serve_max_queue=args.max_queue,
+        serve_batch_size=args.batch_size,
+    )
+    registry = TenantRegistry(data_dir, config, clean_clean=True)
+    server = ReproServer(registry, log_interval=None)
+    await server.start()
+
+    latencies: dict[str, list[float]] = {"upsert": [], "query": [], "delete": []}
+    counters = {"acked": 0, "overload_retries": 0, "dropped_acks": 0}
+    print(
+        f"driving {total_ops} ops over {args.tenants} connections "
+        f"(window {args.window}) ..."
+    )
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            tenant_worker(
+                server.host, server.port, workloads[tenant_id],
+                args.window, latencies, counters,
+            )
+            for tenant_id in tenant_ids
+        )
+    )
+    elapsed = time.perf_counter() - start
+
+    stats_client = await ServingClient.connect(server.host, server.port)
+    server_stats = await stats_client.stats()
+    await stats_client.close()
+    await server.shutdown()
+
+    ops_per_second = total_ops / elapsed if elapsed > 0 else float("inf")
+    mean_batches = [
+        tenant["mean_batch_size"]
+        for tenant in server_stats["tenants"].values()
+    ]
+    report = {
+        "benchmark": "serving_multi_tenant_mixed_load",
+        "workload": "ar1-synthetic/pipelined-upsert-query-delete",
+        "smoke": bool(args.smoke),
+        "tenants": args.tenants,
+        "profiles_per_tenant": profiles,
+        "window": args.window,
+        "serve_max_queue": args.max_queue,
+        "serve_batch_size": args.batch_size,
+        "weighting": args.weighting,
+        "seed": args.seed,
+        "total_ops": total_ops,
+        "acked_ops": counters["acked"],
+        "dropped_acks": counters["dropped_acks"],
+        "overload_retries": counters["overload_retries"],
+        "elapsed_seconds": round(elapsed, 4),
+        "ops_per_second": round(ops_per_second, 1),
+        "latency_ms": {
+            verb: percentiles(samples)
+            for verb, samples in latencies.items()
+        },
+        "mean_batch_size": round(
+            sum(mean_batches) / len(mean_batches) if mean_batches else 0.0, 3
+        ),
+        "server": {
+            "requests": server_stats["server"]["requests"],
+            "evictions": server_stats["server"]["evictions"],
+            "recoveries": server_stats["totals"]["recoveries"],
+            "overloads": server_stats["totals"]["overloads"],
+        },
+    }
+    print(
+        f"  {total_ops} ops in {elapsed:.2f}s ({ops_per_second:,.0f} ops/s) "
+        f"across {args.tenants} tenants"
+    )
+    for verb in ("upsert", "query", "delete"):
+        tail = report["latency_ms"][verb]
+        print(
+            f"  {verb:6s} p50 {tail['p50']:.2f}ms, p95 {tail['p95']:.2f}ms, "
+            f"p99 {tail['p99']:.2f}ms ({len(latencies[verb])} ops)"
+        )
+    print(
+        f"  mean batch {report['mean_batch_size']:.2f}, "
+        f"{counters['overload_retries']} overload retries, "
+        f"{counters['dropped_acks']} dropped acks"
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="concurrent tenants/connections "
+                             "(default: %(default)s)")
+    parser.add_argument("--profiles-per-tenant", type=int, default=1_000,
+                        help="approximate per-tenant stream size "
+                             "(default: %(default)s)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized workload (~150 profiles/tenant)")
+    parser.add_argument("--window", type=int, default=32,
+                        help="max in-flight requests per connection "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-queue", type=int, default=256,
+                        help="serve_max_queue (default: %(default)s)")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="serve_batch_size (default: %(default)s)")
+    parser.add_argument("--weighting", default="chi_h",
+                        help="weighting scheme (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_serving.json",
+                        help="JSON report path (default: %(default)s)")
+    parser.add_argument("--max-p95-ms", type=float, default=None,
+                        help="exit non-zero if any verb's p95 is higher")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = asyncio.run(run_async(args, Path(tmp)))
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if report["dropped_acks"]:
+        print(
+            f"error: {report['dropped_acks']} operations were refused "
+            "with a non-overloaded error (dropped acks must be zero)",
+            file=sys.stderr,
+        )
+        failed = True
+    if report["acked_ops"] != report["total_ops"]:
+        print(
+            f"error: {report['acked_ops']} acks for {report['total_ops']} "
+            "ops — operations went missing",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.max_p95_ms is not None:
+        for verb, tail in report["latency_ms"].items():
+            if tail["p95"] > args.max_p95_ms:
+                print(
+                    f"error: {verb} p95 {tail['p95']}ms above the "
+                    f"{args.max_p95_ms}ms ceiling",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

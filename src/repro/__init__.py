@@ -64,6 +64,7 @@ if TYPE_CHECKING:
     from repro.datasets import load_clean_clean, load_dirty
     from repro.graph import MetaBlocker, WeightingScheme
     from repro.metrics import evaluate_blocks
+    from repro.serving import ReproServer, ServingClient, TenantRegistry
     from repro.streaming import (
         IncrementalBlockIndex,
         StreamingMetaBlocker,
@@ -114,6 +115,9 @@ _EXPORTS: dict[str, str] = {
     "MetaBlocker": "repro.graph",
     "WeightingScheme": "repro.graph",
     "evaluate_blocks": "repro.metrics",
+    "ReproServer": "repro.serving",
+    "ServingClient": "repro.serving",
+    "TenantRegistry": "repro.serving",
     "IncrementalBlockIndex": "repro.streaming",
     "StreamingMetaBlocker": "repro.streaming",
     "StreamingSession": "repro.streaming",
@@ -147,6 +151,9 @@ __all__ = [
     "StreamingMetaBlocker",
     "StreamingSession",
     "StreamingStage",
+    "ReproServer",
+    "ServingClient",
+    "TenantRegistry",
     "EntityProfile",
     "EntityCollection",
     "GroundTruth",

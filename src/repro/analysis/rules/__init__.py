@@ -21,11 +21,14 @@ RL005   order-dependent-float-sum      float accumulation over unordered
                                        collections uses ``math.fsum``
 RL006   swallowed-exception            no bare ``except:``; broad catches
                                        never silently discard the error
+RL007   async-blocking-call            coroutines never call blocking
+                                       IO/sleep/join primitives
 ======  =============================  ==========================================
 """
 
 from __future__ import annotations
 
+from repro.analysis.rules.async_blocking import AsyncBlockingCallRule
 from repro.analysis.rules.base import FileContext, LintRule, RawFinding
 from repro.analysis.rules.determinism import (
     FloatAccumulationRule,
@@ -37,6 +40,7 @@ from repro.analysis.rules.pickling import PicklabilityRule
 from repro.analysis.rules.registry import RegistryContractRule
 
 __all__ = [
+    "AsyncBlockingCallRule",
     "DtypeDisciplineRule",
     "FileContext",
     "FloatAccumulationRule",
@@ -59,4 +63,5 @@ def default_rules() -> list[LintRule]:
         PicklabilityRule(),
         FloatAccumulationRule(),
         SwallowedExceptionRule(),
+        AsyncBlockingCallRule(),
     ]

@@ -1,0 +1,180 @@
+"""RL007 — no blocking calls inside ``async def`` bodies.
+
+The serving layer (repro.serving) multiplexes every tenant over one
+event loop: a single blocking call in a coroutine stalls *all* tenants
+at once, not just the offending request.  The failure is invisible in
+unit tests (one coroutine, no contention) and catastrophic under load —
+a ``time.sleep`` or a synchronous snapshot write in an actor freezes
+queue draining, inflates every p99, and can cascade into spurious
+``overloaded`` responses server-wide.
+
+RL007 flags, inside ``async def`` bodies only:
+
+* known-blocking module calls — ``time.sleep``, ``os.replace`` /
+  ``os.rename`` / ``os.fsync``, ``subprocess.run`` and friends,
+  ``shutil`` file operations — through ``import m`` / ``import m as n``
+  / ``from m import f`` aliases alike;
+* synchronous ``open()`` / ``input()`` builtins;
+* zero-argument ``.join()`` — the ``Pool.join()`` / ``Thread.join()``
+  shape (string and path joins always take arguments; the coroutine
+  ``asyncio.Queue.join`` is exempt because it is awaited).
+
+A call directly under ``await`` is never flagged (``await
+asyncio.sleep(...)`` is the fix, not the bug), and nested ``def`` /
+``lambda`` bodies are skipped — they run wherever they are called, which
+is exactly where the rule will look for them.  The remedy is
+``asyncio.sleep`` for delays and ``asyncio.to_thread`` for file IO and
+process joins, which is how repro.serving ships its snapshot writes off
+the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import FileContext, LintRule, RawFinding
+
+__all__ = ["AsyncBlockingCallRule"]
+
+#: ``(module, function)`` pairs known to block the calling thread.
+_BLOCKING_MODULE_CALLS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("time", "sleep"),
+        ("os", "replace"),
+        ("os", "rename"),
+        ("os", "fsync"),
+        ("os", "remove"),
+        ("os", "unlink"),
+        ("os", "makedirs"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("shutil", "copy"),
+        ("shutil", "copyfile"),
+        ("shutil", "copytree"),
+        ("shutil", "move"),
+        ("shutil", "rmtree"),
+        ("socket", "create_connection"),
+    }
+)
+
+#: Builtins that block (file IO, terminal reads) when called bare.
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+
+class AsyncBlockingCallRule(LintRule):
+    """RL007: coroutines never call blocking IO/sleep/join primitives."""
+
+    code = "RL007"
+    name = "async-blocking-call"
+    rationale = (
+        "the serving layer runs every tenant on one event loop, so a "
+        "single blocking call in a coroutine — time.sleep, a sync "
+        "open()/os.replace, a Pool/Thread join — stalls all tenants at "
+        "once and inflates every latency tail; use await asyncio.sleep "
+        "for delays and await asyncio.to_thread(...) for file IO and "
+        "joins, as repro.serving does for snapshot writes"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Name -> module it aliases (``import time as t`` -> {"t": "time"}).
+        self._module_aliases: dict[str, str] = {}
+        #: Name -> (module, function) it aliases (``from time import sleep``).
+        self._func_aliases: dict[str, tuple[str, str]] = {}
+        #: One entry per enclosing function-ish scope; True inside async def.
+        self._async_stack: list[bool] = []
+        #: ids of Call nodes sitting directly under an ``await``.
+        self._awaited: set[int] = set()
+
+    def run(self, context: FileContext) -> list[RawFinding]:
+        self._module_aliases = {}
+        self._func_aliases = {}
+        self._async_stack = []
+        self._awaited = set()
+        self._scan_imports(context.tree)
+        return super().run(context)
+
+    def _scan_imports(self, tree: ast.Module) -> None:
+        blocking_modules = {module for module, _ in _BLOCKING_MODULE_CALLS}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in blocking_modules:
+                        self._module_aliases[
+                            alias.asname or alias.name
+                        ] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    pair = (node.module, alias.name)
+                    if pair in _BLOCKING_MODULE_CALLS:
+                        self._func_aliases[alias.asname or alias.name] = pair
+
+    # -- scope tracking ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._async_stack.append(False)
+        super().visit_FunctionDef(node)
+        self._async_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_stack.append(True)
+        super().visit_AsyncFunctionDef(node)
+        self._async_stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda body runs where it is *called*, not where it is
+        # defined — e.g. a callback handed to asyncio.to_thread.
+        self._async_stack.append(False)
+        self.generic_visit(node)
+        self._async_stack.pop()
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
+
+    # -- the check -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._async_stack
+            and self._async_stack[-1]
+            and id(node) not in self._awaited
+        ):
+            described = self._blocking_call(node)
+            if described is not None:
+                self.report(
+                    node,
+                    f"blocking call {described} inside 'async def' stalls "
+                    "the whole event loop (every tenant, not just this "
+                    "request); use 'await asyncio.sleep(...)' for delays "
+                    "or 'await asyncio.to_thread(...)' for blocking work",
+                )
+        self.generic_visit(node)
+
+    def _blocking_call(self, node: ast.Call) -> str | None:
+        """A human-readable name of the blocking call, or ``None``."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_BUILTINS:
+                return f"{func.id}()"
+            aliased = self._func_aliases.get(func.id)
+            if aliased is not None:
+                module, name = aliased
+                return f"{func.id}() (= {module}.{name})"
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                module = self._module_aliases.get(func.value.id)
+                if (
+                    module is not None
+                    and (module, func.attr) in _BLOCKING_MODULE_CALLS
+                ):
+                    return f"{func.value.id}.{func.attr}()"
+            if func.attr == "join" and not node.args and not node.keywords:
+                # Zero-argument join: the Pool.join()/Thread.join() shape
+                # (str.join and os.path.join always take arguments).
+                return ".join()"
+        return None

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro run      --left a.jsonl --right b.jsonl --output pairs.csv
     python -m repro evaluate --left a.jsonl --right b.jsonl \
                              --ground-truth gt.csv
     python -m repro generate --dataset ar1 --outdir data/
     python -m repro stream   --input stream.jsonl --output matches.jsonl
+    python -m repro serve    --data-dir tenants/ --port 7711
     python -m repro lint     src/
 
 ``run`` executes the BLAST pipeline and writes the candidate pairs;
@@ -15,8 +16,10 @@ materializes one of the built-in benchmark datasets as JSONL + CSV so the
 other two commands (and external tools) can consume it; ``stream`` replays
 a JSON-lines profile stream (``.gz`` transparently) through the
 incremental subsystem and emits each arrival's retained candidates as they
-are computed; ``lint`` runs the repro-lint static contract checks of
-:mod:`repro.analysis` (also available dependency-free as ``python -m
+are computed; ``serve`` runs the multi-tenant JSON-lines-over-TCP server
+of :mod:`repro.serving` (one journaled, crash-recovering streaming
+session per tenant); ``lint`` runs the repro-lint static contract checks
+of :mod:`repro.analysis` (also available dependency-free as ``python -m
 repro.analysis``).
 
 ``run``, ``evaluate`` and ``stream`` assemble their components from the
@@ -166,6 +169,51 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--no-query", action="store_true",
                         help="only build the index (bulk load / snapshot "
                              "warm-up); no candidates are computed")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve many tenants over TCP (JSON lines; see repro.serving)",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    serve.add_argument("--data-dir", type=Path, required=True,
+                       help="root of the per-tenant persistence layout "
+                            "(<data-dir>/<tenant>/{snapshot.json.gz,"
+                            "wal.jsonl}); tenants found here are "
+                            "crash-recovered on first touch")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7711,
+                       help="TCP port (default: %(default)s; 0 picks a "
+                            "free port and prints it)")
+    serve.add_argument("--clean-clean", action="store_true",
+                       help="fresh tenants index two-source streams "
+                            "(recovered tenants keep their snapshot's kind)")
+    serve.add_argument("--weighting", choices=WEIGHTINGS.names(),
+                       default="chi_h",
+                       help="edge weighting of fresh tenants "
+                            "(default: %(default)s)")
+    serve.add_argument("--pruning", choices=PRUNERS.names(), default="blast",
+                       help="pruning scheme of fresh tenants "
+                            "(default: %(default)s)")
+    serve.add_argument("--consistency", choices=STREAM_VIEWS.names(),
+                       default="fast",
+                       help="query view of fresh tenants "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="per-tenant write-queue bound; a full queue "
+                            "answers 'overloaded' (default: "
+                            "BlastConfig.serve_max_queue)")
+    serve.add_argument("--batch-size", type=int, default=None,
+                       help="most writes one actor batch applies "
+                            "(default: BlastConfig.serve_batch_size)")
+    serve.add_argument("--resident-tenants", type=int, default=None,
+                       help="LRU cap on simultaneously open tenants "
+                            "(default: BlastConfig.serve_resident_tenants)")
+    serve.add_argument("--snapshot-interval", type=int, default=None,
+                       help="snapshot a tenant every N applied writes "
+                            "(default: only on eviction/shutdown)")
+    serve.add_argument("--log-interval", type=float, default=30.0,
+                       help="seconds between operational log lines "
+                            "(default: %(default)s)")
 
     lint = sub.add_parser(
         "lint",
@@ -460,12 +508,67 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from repro.serving import ReproServer, TenantRegistry
+    from repro.streaming import StreamingSession
+
+    overrides = {
+        "serve_max_queue": args.max_queue,
+        "serve_batch_size": args.batch_size,
+        "serve_resident_tenants": args.resident_tenants,
+        "serve_snapshot_interval": args.snapshot_interval,
+    }
+    config = BlastConfig(
+        weighting=args.weighting,
+        stream_consistency=args.consistency,
+        **{knob: value for knob, value in overrides.items()
+           if value is not None},
+    )
+
+    def fresh_session() -> StreamingSession:
+        # No journal here: the registry's recovery path attaches each
+        # tenant's own journal when it opens the tenant.
+        return StreamingSession(
+            config,
+            clean_clean=args.clean_clean,
+            pruning=PRUNERS.get(args.pruning)(config),
+        )
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    registry = TenantRegistry(
+        args.data_dir, config,
+        clean_clean=args.clean_clean,
+        session_factory=fresh_session,
+    )
+    server = ReproServer(
+        registry, host=args.host, port=args.port,
+        log_interval=args.log_interval,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(data dir {args.data_dir}, "
+              f"{len(registry.known_tenants())} tenants on disk)",
+              flush=True)
+        await server.serve_forever()
+
+    asyncio.run(_serve())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     commands = {"run": _cmd_run, "evaluate": _cmd_evaluate,
                 "generate": _cmd_generate, "stream": _cmd_stream,
-                "lint": _lint_cli.execute}
+                "serve": _cmd_serve, "lint": _lint_cli.execute}
     try:
         return commands[args.command](args)
     except (OSError, ValueError) as exc:

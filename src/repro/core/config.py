@@ -106,6 +106,30 @@ class BlastConfig:
     stream_query_k:
         Default per-query candidate cap of ``StreamingSession.candidates``
         (``None`` returns every retained neighbor).
+
+    Serving (the multi-tenant async server, see DESIGN.md "Serving layer")
+    ----------------------------------------------------------------------
+    serve_max_queue:
+        Bound of each tenant's write queue.  When a tenant's queue is
+        full, further ``upsert``/``delete`` requests are answered
+        ``overloaded`` immediately (explicit backpressure) instead of
+        growing memory without bound.
+    serve_batch_size:
+        Most write operations one tenant actor applies per batch; between
+        batches the event loop runs queries, so read latency under a
+        write flood is bounded by one batch, not the whole queue.  Must
+        not exceed ``serve_max_queue`` (a batch larger than the queue
+        could never fill).
+    serve_resident_tenants:
+        Most tenant sessions kept open concurrently.  The least recently
+        used tenant beyond the cap is drained, snapshotted, and closed
+        back to cold storage; the next touch recovers it from its
+        snapshot + journal.
+    serve_snapshot_interval:
+        Write operations between automatic per-tenant snapshots
+        (``None`` snapshots only on eviction and graceful shutdown; the
+        write-ahead journal covers crashes either way — the interval
+        only bounds recovery replay length).
     """
 
     # Phase 1
@@ -135,6 +159,11 @@ class BlastConfig:
     # Streaming
     stream_consistency: str = "exact"
     stream_query_k: int | None = None
+    # Serving
+    serve_max_queue: int = 256
+    serve_batch_size: int = 32
+    serve_resident_tenants: int = 64
+    serve_snapshot_interval: int | None = None
 
     def __post_init__(self) -> None:
         # Accept registry names ("cbs", "chi_h", ...) wherever a scheme is
@@ -239,6 +268,38 @@ class BlastConfig:
             raise ValueError(
                 f"stream_query_k must be positive or None, "
                 f"got {self.stream_query_k}"
+            )
+        # Serving knobs: validated here (reject, don't clamp) with the
+        # same discipline as workers/shard_size — a queue bound or batch
+        # size that silently "worked" at 0 would disable backpressure or
+        # stall every actor.
+        if self.serve_max_queue < 1:
+            raise ValueError(
+                f"serve_max_queue must be positive, got {self.serve_max_queue}"
+            )
+        if self.serve_batch_size < 1:
+            raise ValueError(
+                f"serve_batch_size must be positive, "
+                f"got {self.serve_batch_size}"
+            )
+        if self.serve_batch_size > self.serve_max_queue:
+            raise ValueError(
+                f"serve_batch_size ({self.serve_batch_size}) cannot exceed "
+                f"serve_max_queue ({self.serve_max_queue}); a batch larger "
+                "than the queue bound can never fill"
+            )
+        if self.serve_resident_tenants < 1:
+            raise ValueError(
+                f"serve_resident_tenants must be positive, "
+                f"got {self.serve_resident_tenants}"
+            )
+        if (
+            self.serve_snapshot_interval is not None
+            and self.serve_snapshot_interval < 1
+        ):
+            raise ValueError(
+                f"serve_snapshot_interval must be positive or None, "
+                f"got {self.serve_snapshot_interval}"
             )
 
     def backend_options(self) -> dict[str, object]:

@@ -1,0 +1,64 @@
+"""Multi-tenant serving layer over :class:`~repro.streaming.StreamingSession`.
+
+An asyncio TCP server fronting many concurrent streaming sessions:
+
+* :class:`TenantRegistry` — tenant id -> session + snapshot/journal
+  paths, opened lazily with crash recovery on first touch, LRU-bounded
+  residency;
+* :class:`Tenant` — the per-tenant single-writer actor: a bounded write
+  queue with explicit ``overloaded`` backpressure, write batching, and
+  queries serialized between batches;
+* :class:`ReproServer` — the JSON-lines-over-TCP front end
+  (``repro serve``), with per-tenant and global observability and
+  graceful drain-snapshot-close shutdown;
+* :class:`ServingClient` — the reference client used by tests, the load
+  benchmark, and the worked example.
+
+See DESIGN.md ("Serving layer") for the tenant lifecycle state machine,
+the backpressure contract, and recovery-on-attach semantics;
+``examples/serving_multi_tenant.py`` walks two tenants through
+upsert/query/kill/recover.
+"""
+
+from repro.serving.client import ServerError, ServingClient
+from repro.serving.metrics import LatencyRing, ServerMetrics, TenantMetrics
+from repro.serving.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    VERBS,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serving.server import ReproServer
+from repro.serving.tenant import (
+    Tenant,
+    TenantClosedError,
+    TenantOverloadedError,
+    TenantRegistry,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "LatencyRing",
+    "ProtocolError",
+    "ReproServer",
+    "Request",
+    "ServerError",
+    "ServerMetrics",
+    "ServingClient",
+    "Tenant",
+    "TenantClosedError",
+    "TenantMetrics",
+    "TenantOverloadedError",
+    "TenantRegistry",
+    "VERBS",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]

@@ -1,0 +1,155 @@
+"""A minimal asyncio client for the serving protocol.
+
+Used by the test suite, the load benchmark, and the worked example; it
+is also the reference implementation of how to *speak* the protocol —
+one JSON line per request, responses in request order, ``overloaded``
+answered by backing off and retrying.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serving.protocol import MAX_LINE_BYTES
+
+__all__ = ["ServingClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A request the server refused; ``code`` is the protocol error code."""
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(response.get("message", "request failed"))
+        self.code = response.get("error", "internal")
+        self.response = response
+
+
+class ServingClient:
+    """One connection to a :class:`~repro.serving.ReproServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES + 2
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except OSError:
+            pass
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- raw protocol --------------------------------------------------------
+
+    async def request(self, record: dict) -> dict:
+        """Send one request and await its response (raw — errors included)."""
+        self._writer.write(json.dumps(record).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def pipeline(self, records: list[dict]) -> list[dict]:
+        """Send every request before reading any response.
+
+        Responses come back in request order, so ``result[i]`` answers
+        ``records[i]``.  Pipelining is what lets the tenant actor batch:
+        a sequential request/await loop caps batches at one operation.
+        """
+        payload = b"".join(
+            json.dumps(record).encode("utf-8") + b"\n" for record in records
+        )
+        self._writer.write(payload)
+        await self._writer.drain()
+        responses = []
+        for _ in records:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            responses.append(json.loads(line))
+        return responses
+
+    # -- convenience verbs (raise ServerError on refusal) --------------------
+
+    async def _checked(self, record: dict) -> dict:
+        response = await self.request(record)
+        if not response.get("ok"):
+            raise ServerError(response)
+        return response
+
+    async def upsert(
+        self,
+        tenant: str,
+        profile_id: str,
+        attributes: list,
+        *,
+        source: int = 0,
+    ) -> dict:
+        return await self._checked(
+            {
+                "v": "upsert",
+                "tenant": tenant,
+                "id": profile_id,
+                "attributes": attributes,
+                "source": source,
+            }
+        )
+
+    async def delete(
+        self, tenant: str, profile_id: str, *, source: int = 0
+    ) -> dict:
+        return await self._checked(
+            {"v": "delete", "tenant": tenant, "id": profile_id, "source": source}
+        )
+
+    async def query(
+        self,
+        tenant: str,
+        profile_id: str,
+        *,
+        k: int | None = None,
+        source: int = 0,
+    ) -> list[dict]:
+        record: dict = {
+            "v": "query",
+            "tenant": tenant,
+            "id": profile_id,
+            "source": source,
+        }
+        if k is not None:
+            record["k"] = k
+        response = await self._checked(record)
+        return response["candidates"]
+
+    async def snapshot(self, tenant: str) -> dict:
+        return await self._checked({"v": "snapshot", "tenant": tenant})
+
+    async def stats(self, tenant: str | None = None) -> dict:
+        record: dict = {"v": "stats"}
+        if tenant is not None:
+            record["tenant"] = tenant
+        response = await self._checked(record)
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        response = await self._checked({"v": "ping"})
+        return bool(response.get("pong"))
+
+    async def shutdown(self) -> dict:
+        return await self._checked({"v": "shutdown"})

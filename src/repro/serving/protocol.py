@@ -1,0 +1,186 @@
+"""The serving wire protocol: JSON lines over a byte stream.
+
+One request per line, one response line per request, answered in request
+order per connection (clients may pipeline).  A request is a JSON object
+with a ``"v"`` verb and, for tenant-scoped verbs, a ``"tenant"`` id::
+
+    {"v": "upsert",   "tenant": "catalog-a", "id": "p1",
+     "attributes": [["name", "John Abram"]], "source": 0}
+    {"v": "delete",   "tenant": "catalog-a", "id": "p1"}
+    {"v": "query",    "tenant": "catalog-a", "id": "p2", "k": 10}
+    {"v": "snapshot", "tenant": "catalog-a"}
+    {"v": "stats"}                      # global; add "tenant" for one
+    {"v": "ping"}
+    {"v": "shutdown"}                   # graceful drain + snapshot + exit
+
+Any request may carry a ``"req"`` field; it is echoed verbatim in the
+response so pipelining clients can match acknowledgements to requests.
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": CODE,
+"message": ...}`` with the error codes of :data:`ERROR_CODES` — most
+importantly ``overloaded``, the backpressure signal: the tenant's write
+queue is full and the client should back off and retry.
+
+The profile payload (``id``/``source``/``attributes``) is exactly the
+stream-record format of :mod:`repro.streaming.session`, so any stream
+file can be replayed against a server line by line.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.data.io import profile_from_record
+from repro.data.profile import EntityProfile
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "TENANT_ID_RE",
+    "VERBS",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]
+
+#: Verbs the server understands.
+VERBS = frozenset(
+    {"upsert", "delete", "query", "snapshot", "stats", "ping", "shutdown"}
+)
+
+#: Verbs that must name a tenant.
+TENANT_VERBS = frozenset({"upsert", "delete", "query", "snapshot"})
+
+#: Error codes a response may carry.
+ERROR_CODES = frozenset(
+    {
+        "bad_request",  # malformed JSON, unknown verb, invalid fields
+        "overloaded",  # tenant write queue full — back off and retry
+        "not_found",  # query for a profile id the tenant never indexed
+        "shutting_down",  # server is draining; no new work accepted
+        "internal",  # unexpected server-side failure (logged)
+    }
+)
+
+#: Longest accepted request line; longer lines are a protocol error
+#: (and bound per-connection buffering).
+MAX_LINE_BYTES = 1 << 20
+
+#: Tenant ids are path components on the server (snapshot/journal
+#: directories), so they are restricted to a filesystem-safe alphabet.
+TENANT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class ProtocolError(ValueError):
+    """A request the server cannot honor; ``code`` names the error class."""
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request line."""
+
+    verb: str
+    tenant: str | None = None
+    profile_id: str | None = None
+    source: int = 0
+    k: int | None = None
+    profile: EntityProfile | None = None  # upserts only
+    #: Client correlation token, echoed in the response.
+    req: object = None
+    raw: dict = field(default_factory=dict, repr=False)
+
+
+def validate_tenant_id(tenant: object) -> str:
+    """*tenant* as a safe tenant id, or :class:`ProtocolError`."""
+    if not isinstance(tenant, str) or not TENANT_ID_RE.match(tenant):
+        raise ProtocolError(
+            f"invalid tenant id {tenant!r}: expected 1-64 characters of "
+            "[A-Za-z0-9._-] starting with a letter or digit"
+        )
+    return tenant
+
+
+def parse_request(line: bytes | str) -> Request:
+    """Decode one request line; raises :class:`ProtocolError` on any defect."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request line exceeds {MAX_LINE_BYTES} bytes"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not valid UTF-8 ({exc})") from exc
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON ({exc})") from exc
+    if not isinstance(record, dict):
+        raise ProtocolError("request must be a JSON object")
+    verb = record.get("v")
+    if verb not in VERBS:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; valid: {', '.join(sorted(VERBS))}"
+        )
+    req = record.get("req")
+    tenant = None
+    if verb in TENANT_VERBS or (verb == "stats" and "tenant" in record):
+        tenant = validate_tenant_id(record.get("tenant"))
+    source = record.get("source", 0)
+    if source not in (0, 1):
+        raise ProtocolError(f"source must be 0 or 1, got {source!r}")
+
+    if verb == "upsert":
+        try:
+            profile = profile_from_record(record)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad upsert payload: {exc}") from exc
+        return Request(
+            verb, tenant, profile.profile_id, source, None, profile, req, record
+        )
+    if verb in ("delete", "query"):
+        profile_id = record.get("id")
+        if not isinstance(profile_id, str) or not profile_id:
+            raise ProtocolError(f"{verb} requires a non-empty string 'id'")
+        k = record.get("k")
+        if k is not None and (not isinstance(k, int) or k < 1):
+            raise ProtocolError(f"k must be a positive integer, got {k!r}")
+        return Request(verb, tenant, profile_id, source, k, None, req, record)
+    return Request(verb, tenant, None, source, None, None, req, record)
+
+
+def ok_response(request: Request | None = None, **payload: object) -> dict:
+    """A success response, echoing the request's correlation token."""
+    response: dict = {"ok": True, **payload}
+    if request is not None and request.req is not None:
+        response["req"] = request.req
+    return response
+
+
+def error_response(
+    code: str,
+    message: str,
+    request: Request | None = None,
+) -> dict:
+    """A failure response; *code* must be one of :data:`ERROR_CODES`."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    response: dict = {"ok": False, "error": code, "message": message}
+    if request is not None and request.req is not None:
+        response["req"] = request.req
+    return response
+
+
+def encode(response: dict) -> bytes:
+    """Serialize one response as a newline-terminated JSON line."""
+    return json.dumps(response, ensure_ascii=False).encode("utf-8") + b"\n"

@@ -1,0 +1,299 @@
+"""The serving front end: JSON-lines-over-TCP in front of a TenantRegistry.
+
+One :class:`ReproServer` accepts many connections; each connection may
+pipeline requests and receives responses in request order.  Request
+handling is concurrent *within* a connection — every line becomes a
+dispatch task immediately, and a per-connection responder awaits the
+tasks in order — so a pipelining client can fill a tenant's write queue
+and the tenant actor can batch, while acknowledgements still line up
+with requests.
+
+Failure mapping is total: every way a request can go wrong becomes one
+of the protocol error codes (``bad_request``, ``overloaded``,
+``not_found``, ``shutting_down``, ``internal``) rather than a dropped
+connection.  Graceful shutdown — the ``shutdown`` verb or
+SIGINT/SIGTERM — stops accepting, drains every tenant queue, snapshots
+dirty tenants, and closes their journals; an *ungraceful* death (kill
+fault, power cut) is recovered on next attach from snapshot + journal
+tail, which the kill tests assert bit-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import signal
+
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serving.tenant import (
+    TenantClosedError,
+    TenantOverloadedError,
+    TenantRegistry,
+)
+
+__all__ = ["ReproServer"]
+
+logger = logging.getLogger("repro.serving")
+
+#: Pipelined-but-unanswered requests allowed per connection before the
+#: read loop stops pulling new lines off the socket.
+MAX_PIPELINE_DEPTH = 1024
+
+
+class ReproServer:
+    """Asyncio TCP server multiplexing tenants of a :class:`TenantRegistry`."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        log_interval: float | None = 30.0,
+    ) -> None:
+        self.registry = registry
+        self.metrics = registry.server_metrics
+        self.host = host
+        self._requested_port = port
+        self.log_interval = log_interval
+        self._server: asyncio.Server | None = None
+        self._log_task: asyncio.Task | None = None
+        self._shutdown_event = asyncio.Event()
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting; returns once listening."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        if self.log_interval is not None:
+            self._log_task = asyncio.create_task(
+                self._log_loop(), name="serving-log"
+            )
+        logger.info("serving on %s:%d", self.host, self.port)
+
+    async def serve_forever(self, *, install_signal_handlers: bool = True) -> None:
+        """Run until ``shutdown`` (verb or signal), then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(sig, self._shutdown_event.set)
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Ask the server to drain and exit (thread/signal safe to call)."""
+        self._shutdown_event.set()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, flush every tenant, close up.
+
+        Ordering matters: the listener closes first (no new connections),
+        then the registry drains every tenant queue and snapshots dirty
+        tenants (so queued-and-acknowledged writes are all durable), and
+        only then are lingering connections torn down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._log_task is not None:
+            self._log_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._log_task
+            self._log_task = None
+        await self.registry.close_all()
+        # Teardown order across sockets has no observable effect.
+        for writer in list(self._connections):  # repro-lint: disable=RL001
+            writer.close()
+        logger.info(
+            "shutdown complete: %d requests served, %d tenants on disk",
+            self.metrics.requests,
+            len(self.registry.known_tenants()),
+        )
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.connections += 1
+        self._connections.add(writer)
+        pending: asyncio.Queue[asyncio.Task | None] = asyncio.Queue(
+            maxsize=MAX_PIPELINE_DEPTH
+        )
+        responder = asyncio.create_task(self._respond_loop(pending, writer))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line longer than the stream limit; the connection's
+                    # framing is unrecoverable after this — answer and stop.
+                    await pending.put(
+                        asyncio.create_task(self._overlong_line())
+                    )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break  # EOF
+                if line.strip() == b"":
+                    continue
+                await pending.put(
+                    asyncio.create_task(self._dispatch_safe(line))
+                )
+        finally:
+            await pending.put(None)
+            await responder
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(OSError):
+                await writer.wait_closed()
+
+    async def _respond_loop(
+        self,
+        pending: asyncio.Queue[asyncio.Task | None],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Await dispatch tasks in arrival order and write their responses.
+
+        Keeps consuming even after the client goes away (writes are
+        skipped once the socket breaks) so every dispatched task is
+        awaited and the read loop's sentinel always gets through.
+        """
+        broken = False
+        while True:
+            task = await pending.get()
+            if task is None:
+                return
+            response = await task
+            if broken:
+                continue
+            try:
+                writer.write(encode(response))
+                await writer.drain()
+            except OSError:
+                broken = True
+
+    async def _overlong_line(self) -> dict:
+        self.metrics.bad_requests += 1
+        return error_response(
+            "bad_request",
+            f"request line exceeds {MAX_LINE_BYTES} bytes",
+        )
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_safe(self, line: bytes) -> dict:
+        """One request line -> one response dict; never raises."""
+        self.metrics.requests += 1
+        request: Request | None = None
+        try:
+            request = parse_request(line)
+            return await self._dispatch(request)
+        except ProtocolError as exc:
+            self.metrics.bad_requests += 1
+            return error_response(exc.code, str(exc), request)
+        except TenantOverloadedError as exc:
+            return error_response("overloaded", str(exc), request)
+        except TenantClosedError as exc:
+            return error_response("shutting_down", str(exc), request)
+        except KeyError as exc:
+            return error_response(
+                "not_found", exc.args[0] if exc.args else str(exc), request
+            )
+        except Exception as exc:
+            self.metrics.internal_errors += 1
+            logger.exception("internal error handling %s", request or line[:200])
+            return error_response(
+                "internal", f"{type(exc).__name__}: {exc}", request
+            )
+
+    async def _dispatch(self, request: Request) -> dict:
+        verb = request.verb
+        if verb == "ping":
+            return ok_response(request, pong=True)
+        if verb == "shutdown":
+            self._shutdown_event.set()
+            return ok_response(request, draining=True)
+        if verb == "stats":
+            return ok_response(
+                request, stats=self.registry.stats(request.tenant)
+            )
+        assert request.tenant is not None  # parse_request guarantees it
+        tenant = await self.registry.get(request.tenant)
+        if verb in ("upsert", "delete"):
+            result = await tenant.submit(request)
+            return ok_response(request, **result)
+        if verb == "query":
+            assert request.profile_id is not None
+            found = await tenant.query(
+                request.profile_id, request.k, request.source
+            )
+            return ok_response(
+                request,
+                id=request.profile_id,
+                candidates=[
+                    {
+                        "id": cand.profile_id,
+                        "source": cand.source,
+                        "weight": round(cand.weight, 6),
+                    }
+                    for cand in found
+                ],
+            )
+        assert verb == "snapshot"
+        await tenant.snapshot()
+        return ok_response(request, snapshot=str(tenant.snapshot_path))
+
+    # -- observability -------------------------------------------------------
+
+    async def _log_loop(self) -> None:
+        """The periodic operational log line."""
+        assert self.log_interval is not None
+        while True:
+            await asyncio.sleep(self.log_interval)
+            stats = self.registry.stats()
+            totals = stats["totals"]
+            server = stats["server"]
+            logger.info(
+                "serving: %d req (%.1f/s) | tenants %d resident / %d known | "
+                "writes %d, queries %d, overloads %d, recoveries %d | "
+                "queue depth %d | evictions %d",
+                server["requests"],
+                server["requests_per_second"],
+                totals["tenants_resident"],
+                totals["tenants_known"],
+                totals["upserts"] + totals["deletes"],
+                totals["queries"],
+                totals["overloads"],
+                totals["recoveries"],
+                totals["queue_depth"],
+                server["evictions"],
+            )

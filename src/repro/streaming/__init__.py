@@ -21,6 +21,7 @@ See DESIGN.md ("Streaming & serving") for the consistency model and
 from repro.streaming.index import IncrementalBlockIndex, PostingList
 from repro.streaming.metablocker import Candidate, StreamingMetaBlocker
 from repro.streaming.session import (
+    ConcurrentWriterError,
     ReplayEvent,
     SnapshotCorruptionError,
     StreamingSession,
@@ -33,6 +34,7 @@ from repro.streaming.views import ExactStreamView, FastStreamView, NeighborStats
 
 __all__ = [
     "Candidate",
+    "ConcurrentWriterError",
     "ExactStreamView",
     "FastStreamView",
     "IncrementalBlockIndex",

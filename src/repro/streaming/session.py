@@ -18,6 +18,13 @@ and an optional ``"op"`` (``"upsert"`` default, or ``"delete"``)::
 ``repro stream`` replays such a file (``.gz`` transparently) and emits
 each arrival's retained candidates as they are computed.
 
+Sessions are **single-writer**: ``upsert``/``delete``/``snapshot`` guard
+themselves with a non-blocking tripwire lock and raise
+:class:`ConcurrentWriterError` when two writers interleave — the index
+and the journal have no internal locking, so concurrent mutation would
+corrupt them silently otherwise.  ``repro.serving`` satisfies the
+contract by giving every tenant session exactly one actor task.
+
 Crash safety (see DESIGN.md "Reliability & recovery"): snapshots are
 written atomically (same-directory temp file + ``fsync`` + ``os.replace``)
 and carry a CRC32 checksum verified on :meth:`StreamingSession.restore` —
@@ -34,8 +41,10 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import threading
 import zlib
 from collections.abc import Callable, Iterable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO
@@ -59,6 +68,7 @@ from repro.streaming.metablocker import Candidate, StreamingMetaBlocker
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "ConcurrentWriterError",
     "SnapshotCorruptionError",
     "StreamRecord",
     "ReplayEvent",
@@ -78,6 +88,21 @@ class SnapshotCorruptionError(ValueError):
     """A snapshot (or its journal) cannot be trusted: truncated gzip,
     checksum mismatch, undecodable JSON, or a format newer than this
     library understands.  The message always names the file and reason."""
+
+
+class ConcurrentWriterError(RuntimeError):
+    """Two writers touched a :class:`StreamingSession` at the same time.
+
+    A session is **single-writer**: ``upsert``, ``delete``, and
+    ``snapshot`` mutate (or serialize a consistent view of) the posting
+    lists, node maps, and write-ahead journal with no internal locking,
+    so two concurrent writers would silently corrupt the index and
+    interleave journal lines.  The serving layer (``repro.serving``)
+    enforces the contract structurally — one actor task owns each
+    session — and this error makes any other concurrent use fail loudly
+    instead.  Wrap a session in your own mutex if you must share it
+    across threads.
+    """
 
 
 @dataclass(frozen=True)
@@ -213,6 +238,7 @@ class StreamingSession:
             backend=backend if backend is not None else config.backend,
         )
         self.default_k = config.stream_query_k
+        self._writer_lock = threading.Lock()
         self._journal_path: Path | None = None
         self._journal_handle: IO[str] | None = None
         self._journal_seq = 0
@@ -261,26 +287,52 @@ class StreamingSession:
             session.upsert(profile, source=dataset.source_of(gidx))
         return session
 
+    # -- the single-writer contract ------------------------------------------
+
+    @contextmanager
+    def _exclusive(self, verb: str) -> Iterator[None]:
+        """Hold the writer lock for one mutating verb; never blocks.
+
+        The lock is a *tripwire*, not a synchronization primitive: a
+        second writer arriving while one is inside a verb indicates a
+        broken single-writer contract (see :class:`ConcurrentWriterError`)
+        and fails immediately rather than waiting its turn over a
+        possibly half-mutated index.
+        """
+        if not self._writer_lock.acquire(blocking=False):
+            raise ConcurrentWriterError(
+                f"StreamingSession.{verb}() entered while another writer "
+                "holds the session; sessions are single-writer — route "
+                "all mutations through one owner (e.g. the repro.serving "
+                "tenant actor) or add external locking"
+            )
+        try:
+            yield
+        finally:
+            self._writer_lock.release()
+
     # -- the four verbs ------------------------------------------------------
 
     def upsert(self, profile: EntityProfile, source: int = 0) -> int:
         """Insert or replace a profile; returns its stable node id."""
-        self._journal_write(
-            {
-                "op": "upsert",
-                "id": profile.profile_id,
-                "source": source,
-                "attributes": [list(pair) for pair in profile.attributes],
-            }
-        )
-        return self._apply_upsert(profile, source)
+        with self._exclusive("upsert"):
+            self._journal_write(
+                {
+                    "op": "upsert",
+                    "id": profile.profile_id,
+                    "source": source,
+                    "attributes": [list(pair) for pair in profile.attributes],
+                }
+            )
+            return self._apply_upsert(profile, source)
 
     def delete(self, profile_id: str, source: int = 0) -> bool:
         """Remove a profile; ``False`` when it was not in the index."""
-        self._journal_write(
-            {"op": "delete", "id": profile_id, "source": source}
-        )
-        return self._apply_delete(profile_id, source)
+        with self._exclusive("delete"):
+            self._journal_write(
+                {"op": "delete", "id": profile_id, "source": source}
+            )
+            return self._apply_delete(profile_id, source)
 
     # The non-journaling halves of the verbs: restore/recover replay
     # through these so rebuilding state never re-appends to the journal.
@@ -347,7 +399,8 @@ class StreamingSession:
         :meth:`restore`.
         """
         path = Path(path)
-        payload = self._snapshot_payload()
+        with self._exclusive("snapshot"):
+            payload = self._snapshot_payload()
         body = _canonical_payload_bytes(payload)
         document = {
             "format": SNAPSHOT_FORMAT,
@@ -478,6 +531,7 @@ class StreamingSession:
         )
         session.index.seed_node_map(payload.get("nodes") or ())
         session.default_k = payload.get("default_k")
+        session._writer_lock = threading.Lock()
         session._journal_path = None
         session._journal_handle = None
         session._journal_seq = int(payload.get("journal_seq", 0))

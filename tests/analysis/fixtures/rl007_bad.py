@@ -1,0 +1,35 @@
+"""RL007 fixtures that MUST fire: blocking calls inside coroutines."""
+
+import os
+import shutil
+import subprocess
+import time
+from time import sleep as snooze
+
+
+async def poll_for_file(path: str) -> bool:
+    while not os.path.exists(path):
+        time.sleep(0.1)  # RL007: stalls the whole event loop
+    return True
+
+
+async def load_config(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:  # RL007: sync file IO
+        return handle.read()
+
+
+async def rotate(src: str, dst: str) -> None:
+    os.replace(src, dst)  # RL007: blocking atomic rename
+    snooze(1.0)  # RL007: aliased time.sleep
+
+
+async def wait_for_workers(pool) -> None:
+    pool.join()  # RL007: zero-argument process/thread join
+
+
+async def shell_out(cmd: list) -> int:
+    return subprocess.run(cmd).returncode  # RL007: blocking subprocess
+
+
+async def archive(tree: str) -> None:
+    shutil.rmtree(tree)  # RL007: blocking filesystem walk

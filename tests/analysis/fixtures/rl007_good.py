@@ -1,0 +1,46 @@
+"""RL007 fixtures that must stay SILENT: non-blocking async idioms."""
+
+import asyncio
+import os
+import time
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:  # sync context: fine
+        return handle.read()
+
+
+async def backoff(attempt: int) -> None:
+    await asyncio.sleep(2**attempt)  # awaited: the fix, not the bug
+
+
+async def load_config(path: str) -> str:
+    return await asyncio.to_thread(_read, path)
+
+
+async def rotate(src: str, dst: str) -> None:
+    # os.replace is passed by reference, not called on the loop.
+    await asyncio.to_thread(os.replace, src, dst)
+
+
+async def drain(queue: asyncio.Queue) -> None:
+    await queue.join()  # coroutine join, awaited
+
+
+async def stamp() -> float:
+    return time.monotonic()  # non-blocking time call
+
+
+async def render(parts: list) -> str:
+    return ", ".join(parts)  # string join takes arguments
+
+
+def sync_sleep() -> None:
+    time.sleep(0.01)  # blocking is fine outside async defs
+
+
+async def spawn_helper() -> None:
+    def helper() -> None:
+        time.sleep(0.01)  # nested sync def runs where it is *called*
+
+    await asyncio.to_thread(helper)

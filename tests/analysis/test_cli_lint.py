@@ -77,7 +77,8 @@ def test_default_path_prefers_src_when_present(
 def test_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
     assert cli.run(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                 "RL007"):
         assert code in out
 
 

@@ -156,6 +156,6 @@ def test_lint_paths_walks_directories_and_deduplicates() -> None:
     twice = lint_paths([FIXTURES, FIXTURES / "rl001_bad.py"])
     assert once == twice
     assert {f.code for f in once} >= {"RL001", "RL002", "RL003", "RL004",
-                                      "RL005", "RL006"}
+                                      "RL005", "RL006", "RL007"}
     paths = [f.path for f in once]
     assert paths == sorted(paths)

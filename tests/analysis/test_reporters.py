@@ -37,7 +37,8 @@ def test_json_schema_shape() -> None:
     assert report["summary"]["by_code"] == {"RL001": 1, "RL005": 1}
 
     codes = [rule["code"] for rule in report["rules"]]
-    assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005",
+                     "RL006", "RL007"]
     for rule in report["rules"]:
         assert set(rule) == {"code", "name", "rationale"}
 

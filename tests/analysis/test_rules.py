@@ -19,6 +19,7 @@ CASES = {
     "RL004": ("rl004_bad.py", 5, "rl004_good.py"),
     "RL005": ("rl005_bad.py", 4, "rl005_good.py"),
     "RL006": ("rl006_bad.py", 8, "rl006_good.py"),
+    "RL007": ("rl007_bad.py", 7, "rl007_good.py"),
 }
 
 
@@ -78,3 +79,13 @@ def test_rl004_distinguishes_payload_kinds() -> None:
     assert "'worker'" in messages
     assert "'Worker'" in messages
     assert "initializer=" in messages
+
+
+def test_rl007_names_the_blocking_call() -> None:
+    messages = "\n".join(f.message for f in lint_fixture("rl007_bad.py"))
+    assert "time.sleep()" in messages
+    assert "open()" in messages
+    assert "os.replace()" in messages
+    assert "snooze() (= time.sleep)" in messages
+    assert ".join()" in messages
+    assert "subprocess.run()" in messages

@@ -63,6 +63,14 @@ class TestExamples:
         assert "snapshot round trip:" in out
         assert "identical=True" in out
 
+    def test_serving_multi_tenant(self):
+        out = _run("serving_multi_tenant.py")
+        assert "serving two tenants" in out
+        assert "pipelined 6/6 upserts" in out
+        assert "acme: candidates of a1 -> ['a2']" in out
+        assert "killed in the commit window (exit 23" in out
+        assert "identical to never-crashed sessions: True" in out
+
     @pytest.mark.slow
     def test_end_to_end_er(self):
         out = _run("end_to_end_er.py")

@@ -1,0 +1,40 @@
+"""Shared helpers for the serving-layer suite.
+
+The serving tests run real asyncio event loops (via ``asyncio.run`` —
+the suite has no async plugin dependency) and, where the contract is
+about crashes, real killed subprocesses.  Sessions use the same small
+``cbs``/``purging_ratio=1.0`` configuration as the reliability suite so
+tiny datasets retain candidates.
+"""
+
+from __future__ import annotations
+
+from repro.core import BlastConfig
+from repro.streaming import StreamingSession
+
+#: Profiles that retain candidates under cbs weighting: matching pairs
+#: share name tokens, the odd one out shares none.
+ROWS = [
+    ("p1", [["name", "john abram"], ["city", "boston"]]),
+    ("p2", [["name", "john abram"], ["city", "boston"]]),
+    ("p3", [["name", "ellen smith"], ["city", "denver"]]),
+    ("p4", [["name", "ellen smith"], ["city", "denver"]]),
+]
+
+
+def serving_config(**overrides) -> BlastConfig:
+    settings = {"purging_ratio": 1.0, "weighting": "cbs"}
+    settings.update(overrides)
+    return BlastConfig(**settings)
+
+
+def state_of(session: StreamingSession) -> dict:
+    """Every live profile's full weighted neighborhood (the oracle view)."""
+    index = session.index
+    return {
+        index.profile_of(node).profile_id: [
+            (c.profile_id, c.weight)
+            for c in session.neighborhood(index.profile_of(node).profile_id)
+        ]
+        for node in index.live_nodes()
+    }

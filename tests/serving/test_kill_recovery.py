@@ -1,0 +1,196 @@
+"""Killed servers: SIGKILL-grade crashes recover every tenant exactly.
+
+The acceptance contract of the serving layer: a server process killed by
+an injected fault (``REPRO_FAULTS=...=kill@N`` — ``os._exit``, no
+cleanup, exit code 23) loses nothing that was journaled.  A fresh
+registry attached to the same data dir rebuilds every tenant
+bit-identically to the oracle that never crashed — including the
+operation that was mid-commit when the process died (journaled but not
+yet applied: the journal is the truth).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from _serving_helpers import serving_config, state_of
+
+from repro.data import EntityProfile
+from repro.serving import ServingClient, TenantRegistry
+from repro.streaming import StreamingSession
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: A mixed two-tenant op stream, sent sequentially (each op acked before
+#: the next is written) so the global journal-op order is deterministic.
+OPS = [
+    ("cat-a", "a1", "john abram"),
+    ("cat-b", "b1", "ellen smith"),
+    ("cat-a", "a2", "john abram"),
+    ("cat-b", "b2", "ellen smith"),
+    ("cat-a", "a3", "abram street"),
+    ("cat-b", "b3", "john smith"),
+    ("cat-a", "a4", "john street"),
+    ("cat-b", "b4", "ellen abram"),
+]
+
+SERVER_SCRIPT = """\
+import asyncio
+from repro.core import BlastConfig
+from repro.serving import ReproServer, TenantRegistry
+
+async def main():
+    registry = TenantRegistry(
+        {data_dir!r}, BlastConfig(purging_ratio=1.0, weighting="cbs")
+    )
+    server = ReproServer(registry, log_interval=None)
+    await server.start()
+    print(f"PORT={{server.port}}", flush=True)
+    await server.serve_forever(install_signal_handlers=False)
+
+asyncio.run(main())
+"""
+
+
+def spawn_server(data_dir: Path, faults: str | None) -> tuple:
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults
+    proc = subprocess.Popen(
+        [sys.executable, "-c", SERVER_SCRIPT.format(data_dir=str(data_dir))],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("PORT="), (line, proc.stderr.read())
+    return proc, int(line.strip().split("=", 1)[1])
+
+
+def drive_until_death(port: int) -> int:
+    """Send OPS sequentially; the count acked before the server died."""
+
+    async def main() -> int:
+        client = await ServingClient.connect("127.0.0.1", port)
+        acked = 0
+        try:
+            for tenant, pid, text in OPS:
+                await client.upsert(tenant, pid, [["name", text]])
+                acked += 1
+        except (ConnectionError, OSError):
+            return acked
+        finally:
+            await client.close()
+        raise AssertionError("server should have been killed mid-stream")
+
+    return asyncio.run(main())
+
+
+def oracle_states(ops) -> dict:
+    """Per-tenant oracle state after *ops*, from sessions that never crash."""
+    sessions: dict[str, StreamingSession] = {}
+    for tenant, pid, text in ops:
+        session = sessions.setdefault(
+            tenant, StreamingSession(serving_config())
+        )
+        session.upsert(EntityProfile.from_dict(pid, {"name": text}))
+    return {tenant: state_of(session) for tenant, session in sessions.items()}
+
+
+def recovered_states(data_dir: Path) -> dict:
+    async def main() -> dict:
+        registry = TenantRegistry(data_dir, serving_config())
+        states = {}
+        for tenant_id in registry.known_tenants():
+            tenant = await registry.get(tenant_id)
+            assert tenant.metrics.recoveries == 1
+            states[tenant_id] = state_of(tenant.session)
+        await registry.close_all()
+        return states
+
+    return asyncio.run(main())
+
+
+class TestKilledServer:
+    def test_kill_mid_apply_recovers_the_journaled_op(self, tmp_path):
+        # Die during the 5th journal *apply*: op 5 is journaled (durable)
+        # but neither applied nor acked.  The journal is the truth — the
+        # recovered state includes it.
+        proc, port = spawn_server(tmp_path, "journal.apply=kill@5")
+        acked = drive_until_death(port)
+        assert proc.wait(timeout=30) == 23, proc.stderr.read()
+        assert acked == 4  # the killed op's ack never arrived
+
+        assert recovered_states(tmp_path) == oracle_states(OPS[:5])
+
+    def test_kill_mid_append_loses_only_the_unjournaled_op(self, tmp_path):
+        # Die during the 5th journal *append*: nothing of op 5 survives,
+        # everything acked before it does.
+        proc, port = spawn_server(tmp_path, "journal.append=kill@5")
+        acked = drive_until_death(port)
+        assert proc.wait(timeout=30) == 23, proc.stderr.read()
+        assert acked == 4
+
+        assert recovered_states(tmp_path) == oracle_states(OPS[:4])
+
+    def test_acked_ops_always_survive_a_kill(self, tmp_path):
+        # The client-visible durability contract, independent of where
+        # exactly the fault fired: every acknowledged op is recovered.
+        proc, port = spawn_server(tmp_path, "journal.append=kill@7")
+        acked = drive_until_death(port)
+        assert proc.wait(timeout=30) == 23, proc.stderr.read()
+
+        recovered = recovered_states(tmp_path)
+        assert recovered == oracle_states(OPS[:6])
+        acked_oracle = oracle_states(OPS[:acked])
+        for tenant_id, expected in acked_oracle.items():
+            for pid in expected:
+                assert pid in recovered[tenant_id]
+
+
+class TestGracefulCli:
+    def test_repro_serve_round_trip_and_drain(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--data-dir", str(tmp_path / "tenants"),
+             "--port", "0", "--weighting", "cbs", "--log-interval", "600"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert banner.startswith("serving on "), banner
+            port = int(banner.split()[2].rsplit(":", 1)[1])
+
+            async def main():
+                client = await ServingClient.connect("127.0.0.1", port)
+                await client.upsert("t1", "p1", [["name", "john abram"]])
+                await client.upsert("t1", "p2", [["name", "john abram"]])
+                # Default CLI config purges tiny blocks, so don't pin the
+                # candidate list — the protocol round-trip is the point.
+                found = await client.query("t1", "p1")
+                assert isinstance(found, list)
+                stats = await client.stats()
+                assert stats["totals"]["upserts"] == 2
+                await client.shutdown()
+                await client.close()
+
+            asyncio.run(main())
+            assert proc.wait(timeout=30) == 0, proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        snapshot = tmp_path / "tenants" / "t1" / "snapshot.json.gz"
+        assert snapshot.exists()
+        restored = StreamingSession.restore(snapshot)
+        assert restored.index.num_profiles == 2

@@ -1,0 +1,112 @@
+"""Wire protocol: parsing, validation, encoding, correlation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+    validate_tenant_id,
+)
+
+
+class TestParseRequest:
+    def test_upsert_builds_a_profile(self):
+        request = parse_request(
+            '{"v": "upsert", "tenant": "t1", "id": "p1",'
+            ' "attributes": [["name", "john"]], "source": 1}'
+        )
+        assert request.verb == "upsert"
+        assert request.tenant == "t1"
+        assert request.profile_id == "p1"
+        assert request.source == 1
+        assert request.profile.attributes == (("name", "john"),)
+
+    def test_delete_and_query(self):
+        delete = parse_request('{"v": "delete", "tenant": "t1", "id": "p1"}')
+        assert (delete.verb, delete.profile_id) == ("delete", "p1")
+        query = parse_request(
+            '{"v": "query", "tenant": "t1", "id": "p1", "k": 3}'
+        )
+        assert (query.verb, query.k) == ("query", 3)
+
+    def test_req_token_is_carried(self):
+        request = parse_request('{"v": "ping", "req": 17}')
+        assert request.req == 17
+
+    def test_bytes_and_str_are_equivalent(self):
+        raw = '{"v": "stats"}'
+        assert parse_request(raw) == parse_request(raw.encode())
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ("not json", "not valid JSON"),
+            ('["list"]', "JSON object"),
+            ('{"v": "explode"}', "unknown verb"),
+            ('{"v": "upsert", "tenant": "t1"}', "bad upsert payload"),
+            ('{"v": "query", "tenant": "t1"}', "non-empty string 'id'"),
+            ('{"v": "query", "tenant": "t1", "id": ""}', "non-empty"),
+            ('{"v": "query", "tenant": "t1", "id": "p", "k": 0}', "positive"),
+            ('{"v": "query", "tenant": "t1", "id": "p", "source": 7}',
+             "source must be 0 or 1"),
+            ('{"v": "delete", "id": "p"}', "invalid tenant id"),
+            ('{"v": "upsert", "tenant": "../../etc", "id": "p",'
+             ' "attributes": []}', "invalid tenant id"),
+        ],
+    )
+    def test_defects_raise_bad_request(self, line, match):
+        with pytest.raises(ProtocolError, match=match) as excinfo:
+            parse_request(line)
+        assert excinfo.value.code == "bad_request"
+
+    def test_oversize_line_is_rejected_before_decoding(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_request(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_invalid_utf8_is_rejected(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            parse_request(b'{"v": "ping"\xff}')
+
+
+class TestTenantIds:
+    @pytest.mark.parametrize("tenant", ["a", "catalog-a", "T.9_x", "0" * 64])
+    def test_valid(self, tenant):
+        assert validate_tenant_id(tenant) == tenant
+
+    @pytest.mark.parametrize(
+        "tenant", ["", ".hidden", "-x", "a/b", "a b", "0" * 65, None, 7]
+    )
+    def test_invalid(self, tenant):
+        with pytest.raises(ProtocolError):
+            validate_tenant_id(tenant)
+
+
+class TestResponses:
+    def test_ok_echoes_correlation_token(self):
+        request = parse_request('{"v": "ping", "req": "abc"}')
+        assert ok_response(request, pong=True) == {
+            "ok": True,
+            "pong": True,
+            "req": "abc",
+        }
+
+    def test_error_requires_known_code(self):
+        with pytest.raises(ValueError, match="unknown protocol error code"):
+            error_response("nope", "boom")
+        for code in ERROR_CODES:
+            assert error_response(code, "boom")["error"] == code
+
+    def test_encode_round_trips_as_one_line(self):
+        payload = encode(ok_response(None, value="café"))
+        assert payload.endswith(b"\n")
+        assert payload.count(b"\n") == 1
+        assert json.loads(payload) == {"ok": True, "value": "café"}

@@ -1,0 +1,203 @@
+"""The TCP front end: verbs, error mapping, pipelining, shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from _serving_helpers import ROWS, serving_config, state_of
+
+from repro.serving import ReproServer, ServingClient, TenantRegistry
+
+
+def run_server_scenario(tmp_path, scenario, **config_overrides):
+    """Boot a server on a free port, run *scenario(client, server)*."""
+
+    async def main():
+        registry = TenantRegistry(tmp_path, serving_config(**config_overrides))
+        server = ReproServer(registry, log_interval=None)
+        await server.start()
+        client = await ServingClient.connect("127.0.0.1", server.port)
+        try:
+            return await scenario(client, server)
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    return asyncio.run(main())
+
+
+class TestVerbs:
+    def test_upsert_query_delete_round_trip(self, tmp_path):
+        async def scenario(client, server):
+            for pid, attributes in ROWS:
+                ack = await client.upsert("t1", pid, attributes)
+                assert ack["applied"] is True
+            found = await client.query("t1", "p1", k=5)
+            assert [c["id"] for c in found] == ["p2"]
+            assert (await client.delete("t1", "p2"))["applied"] is True
+            assert await client.query("t1", "p1") == []
+            assert await client.ping()
+
+        run_server_scenario(tmp_path, scenario)
+
+    def test_tenants_are_isolated(self, tmp_path):
+        async def scenario(client, server):
+            await client.upsert("t1", "p1", [["name", "john abram"]])
+            await client.upsert("t2", "p1", [["name", "ellen smith"]])
+            response = await client.request(
+                {"v": "query", "tenant": "t2", "id": "p1"}
+            )
+            assert response["ok"] and response["candidates"] == []
+            stats = await client.stats()
+            assert stats["totals"]["tenants_resident"] == 2
+            assert set(stats["tenants"]) == {"t1", "t2"}
+
+        run_server_scenario(tmp_path, scenario)
+
+    def test_snapshot_verb_writes_the_file(self, tmp_path):
+        async def scenario(client, server):
+            await client.upsert("t1", "p1", [["name", "john abram"]])
+            response = await client.snapshot("t1")
+            assert response["snapshot"].endswith("snapshot.json.gz")
+            assert (tmp_path / "t1" / "snapshot.json.gz").exists()
+
+        run_server_scenario(tmp_path, scenario)
+
+    def test_stats_scoped_to_one_tenant(self, tmp_path):
+        async def scenario(client, server):
+            await client.upsert("t1", "p1", [["name", "john abram"]])
+            scoped = await client.stats("t1")
+            assert scoped["t1"]["upserts"] == 1
+            assert "write_latency_ms" in scoped["t1"]
+
+        run_server_scenario(tmp_path, scenario)
+
+
+class TestErrorMapping:
+    def test_every_defect_gets_a_coded_response(self, tmp_path):
+        async def scenario(client, server):
+            cases = [
+                (b"not json\n", "bad_request"),
+                (json.dumps({"v": "explode"}).encode() + b"\n", "bad_request"),
+                (json.dumps({"v": "query", "tenant": "../x", "id": "p"})
+                 .encode() + b"\n", "bad_request"),
+            ]
+            for raw, code in cases:
+                client._writer.write(raw)
+                await client._writer.drain()
+                response = json.loads(await client._reader.readline())
+                assert response == {
+                    "ok": False,
+                    "error": code,
+                    "message": response["message"],
+                }
+            not_found = await client.request(
+                {"v": "query", "tenant": "t1", "id": "ghost", "req": 9}
+            )
+            assert not_found["error"] == "not_found"
+            assert not_found["req"] == 9  # correlation survives errors
+
+        run_server_scenario(tmp_path, scenario)
+
+    def test_connection_survives_bad_requests(self, tmp_path):
+        async def scenario(client, server):
+            assert (await client.request({"v": "nope"}))["ok"] is False
+            assert await client.ping()
+            assert server.metrics.bad_requests == 1
+
+        run_server_scenario(tmp_path, scenario)
+
+
+class TestPipelining:
+    def test_responses_come_back_in_request_order(self, tmp_path):
+        async def scenario(client, server):
+            records = [
+                {"v": "upsert", "tenant": "t1", "id": f"p{i}",
+                 "attributes": [["name", "bulk load"]], "req": i}
+                for i in range(40)
+            ]
+            records.insert(20, {"v": "ping", "req": "mid"})
+            responses = await client.pipeline(records)
+            assert [r["req"] for r in responses] == [r["req"] for r in records]
+            assert all(r["ok"] for r in responses)
+            stats = await client.stats("t1")
+            assert stats["t1"]["upserts"] == 40
+            # Pipelined writes actually batched (the queue had depth).
+            assert stats["t1"]["mean_batch_size"] > 1.0
+
+        run_server_scenario(
+            tmp_path, scenario, serve_max_queue=256, serve_batch_size=16
+        )
+
+    def test_two_connections_share_one_tenant_safely(self, tmp_path):
+        async def scenario(client, server):
+            other = await ServingClient.connect("127.0.0.1", server.port)
+            try:
+                half_a = [
+                    {"v": "upsert", "tenant": "t1", "id": f"a{i}",
+                     "attributes": [["name", "left half"]]}
+                    for i in range(25)
+                ]
+                half_b = [
+                    {"v": "upsert", "tenant": "t1", "id": f"b{i}",
+                     "attributes": [["name", "right half"]]}
+                    for i in range(25)
+                ]
+                res_a, res_b = await asyncio.gather(
+                    client.pipeline(half_a), other.pipeline(half_b)
+                )
+                assert all(r["ok"] for r in res_a + res_b)
+                stats = await client.stats("t1")
+                assert stats["t1"]["upserts"] == 50
+            finally:
+                await other.close()
+
+        run_server_scenario(tmp_path, scenario)
+
+
+class TestShutdown:
+    def test_graceful_shutdown_persists_every_tenant(self, tmp_path):
+        async def main():
+            registry = TenantRegistry(tmp_path, serving_config())
+            server = ReproServer(registry, log_interval=None)
+            await server.start()
+            client = await ServingClient.connect("127.0.0.1", server.port)
+            for pid, attributes in ROWS:
+                await client.upsert("t1", pid, attributes)
+            await client.upsert("t2", "x1", [["name", "other tenant"]])
+            expected = {
+                tid: state_of((await registry.get(tid)).session)
+                for tid in ("t1", "t2")
+            }
+            assert (await client.shutdown())["draining"] is True
+            await client.close()
+            await server.serve_forever(install_signal_handlers=False)
+
+            # Every tenant snapshotted; a fresh registry restores exactly.
+            fresh = TenantRegistry(tmp_path, serving_config())
+            for tid in ("t1", "t2"):
+                assert (tmp_path / tid / "snapshot.json.gz").exists()
+                tenant = await fresh.get(tid)
+                assert state_of(tenant.session) == expected[tid]
+            await fresh.close_all()
+
+        asyncio.run(main())
+
+    def test_requests_after_drain_get_shutting_down(self, tmp_path):
+        async def main():
+            registry = TenantRegistry(tmp_path, serving_config())
+            server = ReproServer(registry, log_interval=None)
+            await server.start()
+            client = await ServingClient.connect("127.0.0.1", server.port)
+            await client.upsert("t1", "p1", [["name", "john abram"]])
+            await registry.close_all()
+            response = await client.request(
+                {"v": "upsert", "tenant": "t1", "id": "p2",
+                 "attributes": [["name", "late"]]}
+            )
+            assert response["error"] == "shutting_down"
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(main())

@@ -313,3 +313,69 @@ class TestStreamingStage:
         # stream_query_k caps serving queries, never the batch-equivalent
         # retained neighbourhoods the stage materializes.
         assert capped.blocks.distinct_pairs() == uncapped.blocks.distinct_pairs()
+
+
+class TestSingleWriterContract:
+    """Sessions are single-writer: interleaved writers must fail loudly
+    (ConcurrentWriterError) instead of corrupting the index/journal."""
+
+    def test_interleaved_writers_are_rejected(self, monkeypatch):
+        import threading
+
+        from repro.streaming import ConcurrentWriterError
+
+        session = StreamingSession(
+            BlastConfig(purging_ratio=1.0), weighting="cbs"
+        )
+        inside = threading.Event()
+        release = threading.Event()
+        real_upsert = session.index.upsert
+
+        def slow_upsert(prof, source=0):
+            inside.set()
+            assert release.wait(timeout=10.0)
+            return real_upsert(prof, source)
+
+        monkeypatch.setattr(session.index, "upsert", slow_upsert)
+        first = threading.Thread(
+            target=session.upsert, args=(profile("a", "john abram"),)
+        )
+        first.start()
+        try:
+            assert inside.wait(timeout=10.0)  # writer A is mid-verb
+            with pytest.raises(ConcurrentWriterError, match="single-writer"):
+                session.upsert(profile("b", "john abram"))
+            with pytest.raises(ConcurrentWriterError, match="single-writer"):
+                session.delete("a")
+            with pytest.raises(ConcurrentWriterError, match="single-writer"):
+                session.snapshot("unused.json")
+        finally:
+            release.set()
+            first.join(timeout=10.0)
+        # Writer A completed; the session is intact and writable again.
+        assert session.index.num_profiles == 1
+        session.upsert(profile("b", "john abram"))
+        assert [c.profile_id for c in session.candidates("a")] == ["b"]
+
+    def test_sequential_verbs_do_not_trip_the_guard(self, tmp_path):
+        session = StreamingSession(
+            BlastConfig(purging_ratio=1.0), weighting="cbs"
+        )
+        session.upsert(profile("a", "john abram"))
+        session.snapshot(tmp_path / "snap.json")
+        session.delete("a")
+        assert session.index.num_profiles == 0
+
+    def test_restored_sessions_carry_the_guard(self, tmp_path):
+        from repro.streaming import ConcurrentWriterError
+
+        session = StreamingSession(
+            BlastConfig(purging_ratio=1.0), weighting="cbs"
+        )
+        session.upsert(profile("a", "john abram"))
+        session.snapshot(tmp_path / "snap.json")
+        restored = StreamingSession.restore(tmp_path / "snap.json")
+        with restored._exclusive("test"):
+            with pytest.raises(ConcurrentWriterError):
+                restored.upsert(profile("b", "john abram"))
+        restored.upsert(profile("b", "john abram"))  # released again
