@@ -93,6 +93,21 @@ class BlastConfig:
         after the retries degrade to serial in-process execution, so
         results are bit-identical either way).  Rejected with the serial
         built-ins, forwarded to custom backends.
+    pool:
+        Worker-pool lifecycle of the ``parallel`` backend:
+        ``"per-run"`` (backend default when unset) builds and tears down
+        a pool per call, ``"persistent"`` reuses the process-wide pool
+        with the CSR arrays published once through shared memory — the
+        amortized mode for pipelines that meta-block repeatedly.
+        Rejected with the serial built-ins, forwarded to custom
+        backends.
+    spill_dir / spill_threshold_mb:
+        Out-of-core tier of the ``parallel`` backend: set together (and
+        only together) to stream shard and merged edge arrays above the
+        megabyte budget to atomic ``.npy`` files under a private
+        subdirectory of ``spill_dir`` (removed on every exit path),
+        bounding peak RSS with bit-identical results.  Rejected with the
+        serial built-ins, forwarded to custom backends.
     seed:
         Seed for the LSH hash functions.
 
@@ -155,6 +170,9 @@ class BlastConfig:
     shard_size: int | None = None
     task_timeout: float | None = None
     max_retries: int | None = None
+    pool: str | None = None
+    spill_dir: str | None = None
+    spill_threshold_mb: float | None = None
     seed: int | None = None
     # Streaming
     stream_consistency: str = "exact"
@@ -236,6 +254,25 @@ class BlastConfig:
             raise ValueError(
                 f"max_retries must be >= 0 or None, got {self.max_retries}"
             )
+        if self.pool is not None and self.pool not in ("per-run", "persistent"):
+            raise ValueError(
+                f"pool must be 'per-run', 'persistent' or None, "
+                f"got {self.pool!r}"
+            )
+        if (
+            self.spill_threshold_mb is not None
+            and not self.spill_threshold_mb > 0
+        ):
+            raise ValueError(
+                f"spill_threshold_mb must be positive or None, "
+                f"got {self.spill_threshold_mb}"
+            )
+        if (self.spill_dir is None) != (self.spill_threshold_mb is None):
+            raise ValueError(
+                "spill_dir and spill_threshold_mb must be set together "
+                f"(got spill_dir={self.spill_dir!r}, "
+                f"spill_threshold_mb={self.spill_threshold_mb})"
+            )
         # Refuse, rather than silently ignore, execution knobs the chosen
         # backend will never see — `--workers 8` without `--backend
         # parallel` must not quietly run serial.  Only the known serial
@@ -247,14 +284,20 @@ class BlastConfig:
             or self.shard_size is not None
             or self.task_timeout is not None
             or self.max_retries is not None
+            or self.pool is not None
+            or self.spill_dir is not None
+            or self.spill_threshold_mb is not None
         ):
             raise ValueError(
-                f"workers/shard_size/task_timeout/max_retries do not apply "
-                f"to the serial {self.backend!r} backend; use "
-                f"backend='parallel' (got workers={self.workers}, "
+                f"workers/shard_size/task_timeout/max_retries/pool/"
+                f"spill_dir/spill_threshold_mb do not apply to the serial "
+                f"{self.backend!r} backend; use backend='parallel' "
+                f"(got workers={self.workers}, "
                 f"shard_size={self.shard_size}, "
                 f"task_timeout={self.task_timeout}, "
-                f"max_retries={self.max_retries})"
+                f"max_retries={self.max_retries}, pool={self.pool!r}, "
+                f"spill_dir={self.spill_dir!r}, "
+                f"spill_threshold_mb={self.spill_threshold_mb})"
             )
         # Same deal for stream view names (STREAM_VIEWS registry).
         if not self.stream_consistency or not isinstance(
@@ -308,10 +351,11 @@ class BlastConfig:
         The serial built-ins receive no extras (their signatures stay the
         plain backend protocol; set knobs are rejected at construction);
         ``parallel`` — and any custom registered backend — receives the
-        ``workers``/``shard_size``/``task_timeout``/``max_retries`` knobs
-        that were set.  ``None`` values are omitted so backend-side
-        defaults (cpu count, balanced shards, no timeout, 2 retries)
-        apply.
+        ``workers``/``shard_size``/``task_timeout``/``max_retries``/
+        ``pool``/``spill_dir``/``spill_threshold_mb`` knobs that were
+        set.  ``None`` values are omitted so backend-side defaults (cpu
+        count, balanced shards, no timeout, 2 retries, per-run pool, no
+        spilling) apply.
         """
         if self.backend in _SERIAL_BACKENDS:
             return {}
@@ -324,4 +368,10 @@ class BlastConfig:
             options["task_timeout"] = self.task_timeout
         if self.max_retries is not None:
             options["max_retries"] = self.max_retries
+        if self.pool is not None:
+            options["pool"] = self.pool
+        if self.spill_dir is not None:
+            options["spill_dir"] = self.spill_dir
+        if self.spill_threshold_mb is not None:
+            options["spill_threshold_mb"] = self.spill_threshold_mb
         return options

@@ -31,6 +31,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base -> here)
     from repro.blocking.base import BlockCollection
+    from repro.graph.sharding import ShardableIndex
 
 #: Bit width used to pack an ``(src, dst)`` pair into one int64 sort key.
 _PAIR_SHIFT = np.int64(31)
@@ -191,6 +192,20 @@ class EntityIndex:
         if not 0 <= profile < ptr.size - 1:
             return np.zeros(0, dtype=np.int64)
         return blocks[ptr[profile] : ptr[profile + 1]]
+
+    @cached_property
+    def shardable(self) -> "ShardableIndex":
+        """The cached slim array-only view the parallel backend shards.
+
+        Cached so repeated parallel runs over one index share a single
+        ``ShardableIndex`` object — its identity token is what lets the
+        persistent pool's shared-memory publication cache skip
+        re-shipping the CSR arrays (local import: sharding imports the
+        pair-packing helpers from this module).
+        """
+        from repro.graph.sharding import ShardableIndex
+
+        return ShardableIndex.from_entity_index(self)
 
     def block_entropies(self, key_entropy=None) -> np.ndarray:
         """Per-block entropy ``h(b)`` via *key_entropy* (1.0 when ``None``)."""

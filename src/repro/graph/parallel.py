@@ -43,6 +43,22 @@ attempt produced each shard.  Workers fire the ``parallel.worker`` fault
 site (:data:`repro.reliability.FAULTS`) so tests and ``REPRO_FAULTS``
 scenarios can deterministically kill, delay, or fail shard tasks.
 
+Two orthogonal execution modes extend the per-run pool (DESIGN.md
+"Out-of-core & shared memory"):
+
+* ``pool="persistent"`` — workers come from the process-wide
+  :class:`~repro.graph.pool.PersistentPool` and attach to the run's CSR
+  arrays through named shared-memory segments
+  (:class:`~repro.graph.pool.SharedArrayBundle`), published once per
+  index and cached by the index's identity token; successive runs over
+  the same index pay zero fork cost and zero array shipping.  The
+  per-task payload stays a bare ``(spec name, lo, hi)`` triple.
+* ``spill_dir``/``spill_threshold_mb`` — shard outputs above the byte
+  budget stream to atomic ``.npy`` files (:mod:`repro.graph.spill`) and
+  the concatenation merge writes into memmapped outputs, bounding peak
+  RSS while staying bit-identical (preallocate-and-copy concatenation
+  is byte-wise ``np.concatenate``).
+
 Inputs the array path cannot express (custom weighting callables,
 user-defined pruning schemes) delegate to the pure-python reference
 backend, exactly like the vectorized backend does.
@@ -50,8 +66,8 @@ backend, exactly like the vectorized backend does.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import pickle
 import time
 import warnings
 from dataclasses import dataclass
@@ -60,12 +76,32 @@ import numpy as np
 
 from repro.blocking.base import BlockCollection
 from repro.graph.blocking_graph import Edge, KeyEntropyFn
+from repro.graph.pool import (
+    AttachedArrays,
+    BlobSegment,
+    SegmentSpec,
+    SharedArrayBundle,
+    add_shutdown_hook,
+    get_pool,
+    pool_context,
+    read_blob,
+)
 from repro.graph.pruning import PruningScheme
 from repro.graph.sharding import (
     ShardableIndex,
     ShardEdges,
     plan_shards,
     shard_edge_arrays,
+)
+from repro.graph.spill import (
+    SpilledArray,
+    SpilledShardEdges,
+    SpillJob,
+    SpillSpec,
+    concat_spillable,
+    load_array,
+    resolve_shard,
+    spill_shard,
 )
 from repro.graph.vectorized import (
     compute_edge_weights,
@@ -125,16 +161,31 @@ class _SharedState:
 #: Worker-process slot for the run's shared state (set by ``_init_worker``).
 _WORKER_STATE: _SharedState | None = None
 
+#: Worker-process slot for the run's spill policy (set by ``_init_worker``).
+_WORKER_SPILL: SpillSpec | None = None
 
-def _init_worker(state: _SharedState) -> None:
-    global _WORKER_STATE
+#: One shard's result as dispatch produces it: possibly spilled by-path.
+_ShardResult = tuple[
+    ShardEdges | SpilledShardEdges, "np.ndarray | SpilledArray | None"
+]
+
+
+def _init_worker(state: _SharedState, spill: SpillSpec | None = None) -> None:
+    global _WORKER_STATE, _WORKER_SPILL
     _WORKER_STATE = state
+    _WORKER_SPILL = spill
 
 
 def _run_shard(
-    state: _SharedState, lo: int, hi: int
-) -> tuple[ShardEdges, np.ndarray | None]:
-    """Shard body: build one id range's edges (and weights, when local)."""
+    state: _SharedState, lo: int, hi: int, spill: SpillSpec | None = None
+) -> _ShardResult:
+    """Shard body: build one id range's edges (and weights, when local).
+
+    With *spill* armed, an over-budget result is written to atomic
+    ``.npy`` files and returned by path (``shard-{lo}`` stems are unique
+    — plans tile the id space, and a retried shard overwrites its own
+    files with identical bytes).
+    """
     edges = shard_edge_arrays(
         state.index,
         lo,
@@ -155,12 +206,10 @@ def _run_shard(
             entropy_mass=edges.entropy_mass,
             entropy_boost=state.entropy_boost,
         )
-    return edges, weights
+    return spill_shard(edges, weights, spill, f"shard-{lo}")
 
 
-def _run_shard_in_worker(
-    bounds: tuple[int, int],
-) -> tuple[ShardEdges, np.ndarray | None]:
+def _run_shard_in_worker(bounds: tuple[int, int]) -> _ShardResult:
     """Pool entry point: one ``(lo, hi)`` range against the worker state.
 
     Fires the ``parallel.worker`` fault site first, so injected worker
@@ -171,29 +220,221 @@ def _run_shard_in_worker(
     """
     FAULTS.fire(WORKER_FAULT_SITE)
     assert _WORKER_STATE is not None, "worker initialized without state"
-    return _run_shard(_WORKER_STATE, bounds[0], bounds[1])
+    return _run_shard(_WORKER_STATE, bounds[0], bounds[1], _WORKER_SPILL)
 
 
-def merge_shards(shards: list[ShardEdges]) -> ShardEdges:
+# --------------------------------------------------------------------------
+# Persistent-pool job publication (parent side)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _JobSpec:
+    """Everything a persistent-pool worker needs, reachable by one name.
+
+    The manifest points at the shared-memory segments holding the CSR
+    arrays; the scalars travel inline.  The whole spec is pickled into a
+    :class:`~repro.graph.pool.BlobSegment`, so the per-task payload sent
+    through the pool is just ``(spec name, lo, hi)``.
+    """
+
+    manifest: dict[str, SegmentSpec]
+    is_clean_clean: bool
+    num_ids: int
+    num_blocks: int
+    need_arcs: bool
+    scheme: str | None
+    entropy_boost: bool
+    spill: SpillSpec | None
+
+
+#: Parent-side publication cache: the CSR arrays of the last-published
+#: index, keyed by its identity token (satellite: successive
+#: ``parallel_metablocking`` calls over one index within a pipeline run
+#: must not re-ship the arrays).  The third element is a private copy of
+#: the published entropies — they are rebuilt per call, so reuse is
+#: content-checked, not identity-checked.
+_PUBLISHED_BUNDLE: tuple[tuple, SharedArrayBundle, np.ndarray | None] | None
+_PUBLISHED_BUNDLE = None
+
+#: Parent-side spec-blob cache (tiny; re-published whenever any scalar of
+#: the job changes, without busting the expensive array bundle above).
+_PUBLISHED_SPEC: tuple[tuple, BlobSegment] | None = None
+
+
+def _close_publications() -> None:
+    """Unlink every published segment (runs on every ``shutdown_pool``)."""
+    global _PUBLISHED_BUNDLE, _PUBLISHED_SPEC
+    if _PUBLISHED_SPEC is not None:
+        _PUBLISHED_SPEC[1].close()
+        _PUBLISHED_SPEC = None
+    if _PUBLISHED_BUNDLE is not None:
+        _PUBLISHED_BUNDLE[1].close()
+        _PUBLISHED_BUNDLE = None
+
+
+add_shutdown_hook(_close_publications)
+
+
+def _publish_job(state: _SharedState, spill: SpillSpec | None) -> str:
+    """Publish the run's arrays + spec to shared memory; return the name.
+
+    Two-level cache: the array bundle is reused whenever the index
+    identity token (plus which optional arrays are present, plus the
+    entropies' *content*) matches — so a fresh per-run spill directory
+    or a different weighting scheme republishes only the spec blob.
+    """
+    global _PUBLISHED_BUNDLE, _PUBLISHED_SPEC
+    has_counts = state.node_block_counts is not None
+    has_entropies = state.block_entropies is not None
+    bundle_key = (state.index.identity_token, has_counts, has_entropies)
+    bundle_hit = (
+        _PUBLISHED_BUNDLE is not None
+        and _PUBLISHED_BUNDLE[0] == bundle_key
+        and (
+            not has_entropies
+            or np.array_equal(_PUBLISHED_BUNDLE[2], state.block_entropies)
+        )
+    )
+    if not bundle_hit:
+        _close_publications()
+        arrays = {
+            "block_ptr": state.index.block_ptr,
+            "block_split": state.index.block_split,
+            "entity_ids": state.index.entity_ids,
+            "block_comparisons": state.index.block_comparisons,
+        }
+        if has_counts:
+            arrays["node_block_counts"] = state.node_block_counts
+        if has_entropies:
+            arrays["block_entropies"] = state.block_entropies
+        bundle = SharedArrayBundle.publish(arrays)
+        entropies_copy = (
+            np.array(state.block_entropies, dtype=np.float64, copy=True)
+            if has_entropies
+            else None
+        )
+        _PUBLISHED_BUNDLE = (bundle_key, bundle, entropies_copy)
+    spec_key = (
+        bundle_key,
+        state.scheme,
+        state.entropy_boost,
+        state.need_arcs,
+        spill,
+    )
+    if _PUBLISHED_SPEC is not None and _PUBLISHED_SPEC[0] == spec_key:
+        return _PUBLISHED_SPEC[1].name
+    if _PUBLISHED_SPEC is not None:
+        _PUBLISHED_SPEC[1].close()
+        _PUBLISHED_SPEC = None
+    spec = _JobSpec(
+        manifest=_PUBLISHED_BUNDLE[1].manifest,
+        is_clean_clean=state.index.is_clean_clean,
+        num_ids=state.index.num_ids,
+        num_blocks=state.num_blocks,
+        need_arcs=state.need_arcs,
+        scheme=state.scheme,
+        entropy_boost=state.entropy_boost,
+        spill=spill,
+    )
+    blob = BlobSegment(pickle.dumps(spec))
+    _PUBLISHED_SPEC = (spec_key, blob)
+    return blob.name
+
+
+# --------------------------------------------------------------------------
+# Persistent-pool attachment (worker side)
+# --------------------------------------------------------------------------
+
+
+#: Worker-side attachment cache: ``(spec name, rebuilt state, spill,
+#: attachment)``.  Keyed by spec name, so a worker re-attaches only when
+#: the parent published a new job — successive shards of one run (and
+#: successive runs over one index) reuse the mapped segments.
+_ATTACHED: tuple[str, _SharedState, SpillSpec | None, AttachedArrays] | None
+_ATTACHED = None
+
+
+def _attached_state(spec_name: str) -> tuple[_SharedState, SpillSpec | None]:
+    """The worker's shared state for *spec_name*, attaching on first use."""
+    global _ATTACHED
+    cached = _ATTACHED
+    if cached is not None and cached[0] == spec_name:
+        return cached[1], cached[2]
+    if cached is not None:
+        _ATTACHED = None
+        _, stale_state, _, stale_arrays = cached
+        # The stale state's index views the stale segments' buffers; the
+        # views must die before close() can release the maps cleanly.
+        del cached, stale_state
+        stale_arrays.close()
+    spec: _JobSpec = pickle.loads(read_blob(spec_name))
+    attached = AttachedArrays(spec.manifest)
+    arrays = attached.arrays
+    index = ShardableIndex(
+        is_clean_clean=spec.is_clean_clean,
+        block_ptr=arrays["block_ptr"],
+        block_split=arrays["block_split"],
+        entity_ids=arrays["entity_ids"],
+        block_comparisons=arrays["block_comparisons"],
+        num_ids=spec.num_ids,
+    )
+    state = _SharedState(
+        index=index,
+        block_entropies=arrays.get("block_entropies"),
+        need_arcs=spec.need_arcs,
+        scheme=spec.scheme,
+        entropy_boost=spec.entropy_boost,
+        node_block_counts=arrays.get("node_block_counts"),
+        num_blocks=spec.num_blocks,
+    )
+    _ATTACHED = (spec_name, state, spec.spill, attached)
+    return state, spec.spill
+
+
+def _run_shard_over_shm(task: tuple[str, int, int]) -> _ShardResult:
+    """Persistent-pool entry point: attach by name, run one shard.
+
+    Same fault-site contract as :func:`_run_shard_in_worker` — the
+    ``parallel.worker`` site fires before any work, so injected kills
+    and failures land inside a live pool worker.
+    """
+    FAULTS.fire(WORKER_FAULT_SITE)
+    spec_name, lo, hi = task
+    state, spill = _attached_state(spec_name)
+    return _run_shard(state, lo, hi, spill)
+
+
+def merge_shards(
+    shards: list[ShardEdges], spill: SpillSpec | None = None
+) -> ShardEdges:
     """Concatenate per-shard edge arrays into the global edge arrays.
 
     Shards cover ascending ``src`` ranges and each shard is sorted
     lexicographically, so plain concatenation in plan order yields the
     globally sorted, duplicate-free edge list — bit-identical to
     ``ArrayBlockingGraph``'s arrays (each edge's masses were accumulated
-    whole inside its single owning shard).
+    whole inside its single owning shard).  With *spill* armed the
+    merged arrays land in memmapped ``.npy`` files when over budget —
+    same bytes, bounded residency (:func:`~repro.graph.spill.concat_spillable`).
     """
     if not shards:
         empty_i = np.zeros(0, dtype=np.int64)
         return ShardEdges(src=empty_i, dst=empty_i.copy(), shared=empty_i.copy())
     return ShardEdges(
-        src=np.concatenate([s.src for s in shards]),
-        dst=np.concatenate([s.dst for s in shards]),
-        shared=np.concatenate([s.shared for s in shards]),
-        arcs_mass=np.concatenate([s.arcs_mass for s in shards])
+        src=concat_spillable([s.src for s in shards], spill, "merged-src"),
+        dst=concat_spillable([s.dst for s in shards], spill, "merged-dst"),
+        shared=concat_spillable(
+            [s.shared for s in shards], spill, "merged-shared"
+        ),
+        arcs_mass=concat_spillable(
+            [s.arcs_mass for s in shards], spill, "merged-arcs"
+        )
         if shards[0].arcs_mass is not None
         else None,
-        entropy_mass=np.concatenate([s.entropy_mass for s in shards])
+        entropy_mass=concat_spillable(
+            [s.entropy_mass for s in shards], spill, "merged-entropy"
+        )
         if shards[0].entropy_mass is not None
         else None,
     )
@@ -241,34 +482,13 @@ def _validate_plan(plan: list[tuple[int, int]], num_ids: int) -> None:
         )
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer ``fork`` (cheap, shares pages COW); fall back to the default.
-
-    The fallback is announced through :mod:`warnings` rather than taken
-    silently: under ``spawn`` every worker re-imports the package and the
-    per-worker initializer payload travels by pickle, so a run that was
-    benchmarked under ``fork`` behaves very differently — the operator
-    should know which regime they are in.
-    """
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    context = multiprocessing.get_context()
-    warnings.warn(
-        "multiprocessing 'fork' start method unavailable on this platform; "
-        f"falling back to {context.get_start_method()!r} (workers re-import "
-        "the package and receive the shared arrays by pickle)",
-        RuntimeWarning,
-        stacklevel=3,
-    )
-    return context
-
-
 def _dispatch_shards(
     state: _SharedState,
     plan: list[tuple[int, int]],
     workers: int,
     policy: RetryPolicy,
-) -> list[tuple[ShardEdges, np.ndarray | None]]:
+    spill: SpillSpec | None = None,
+) -> list[_ShardResult]:
     """Run every shard of *plan*, surviving worker death and stuck tasks.
 
     The dispatch state machine (DESIGN.md "Reliability & recovery"):
@@ -291,11 +511,11 @@ def _dispatch_shards(
     would otherwise keep its worker busy forever), and ``join()`` always —
     no leaked workers or semaphores for ``pytest -x`` to trip over.
     """
-    results: list[tuple[ShardEdges, np.ndarray | None] | None]
+    results: list[_ShardResult | None]
     results = [None] * len(plan)
     pending = list(range(len(plan)))
     last_error: BaseException | None = None
-    context = _pool_context()
+    context = pool_context()
 
     for attempt in range(policy.attempts):
         if not pending:
@@ -305,7 +525,7 @@ def _dispatch_shards(
         pool = context.Pool(
             processes=min(workers, len(pending)),
             initializer=_init_worker,
-            initargs=(state,),
+            initargs=(state, spill),
         )
         clean = True
         try:
@@ -344,9 +564,78 @@ def _dispatch_shards(
         )
         for index in pending:
             lo, hi = plan[index]
-            results[index] = _run_shard(state, lo, hi)
+            results[index] = _run_shard(state, lo, hi, spill)
 
     # Every slot is filled: finished in a worker, or serially just above.
+    return [result for result in results if result is not None]
+
+
+def _dispatch_shards_persistent(
+    state: _SharedState,
+    plan: list[tuple[int, int]],
+    workers: int,
+    policy: RetryPolicy,
+    spill: SpillSpec | None = None,
+) -> list[_ShardResult]:
+    """Run every shard of *plan* on the persistent pool.
+
+    Same three-stage state machine as :func:`_dispatch_shards`
+    (dispatch → retry with backoff → serial degrade), with two
+    differences: workers reach the run's state through shared memory
+    (:func:`_publish_job` / :func:`_run_shard_over_shm`) instead of an
+    initializer pickle, and an unclean batch *restarts* the singleton
+    pool (terminate + refork) rather than discarding a per-run one — a
+    timed-out task would otherwise wedge a reused worker forever, and
+    restarting also drops any stale shared-memory attachments with the
+    dead workers' address spaces.
+    """
+    spec_name = _publish_job(state, spill)
+    results: list[_ShardResult | None]
+    results = [None] * len(plan)
+    pending = list(range(len(plan)))
+    last_error: BaseException | None = None
+
+    for attempt in range(policy.attempts):
+        if not pending:
+            break
+        if attempt:
+            time.sleep(policy.delay(attempt))
+        pool = get_pool(workers)
+        clean = True
+        handles = [
+            (
+                index,
+                pool.apply_async(
+                    _run_shard_over_shm, ((spec_name, *plan[index]),)
+                ),
+            )
+            for index in pending
+        ]
+        unfinished: list[int] = []
+        for index, handle in handles:
+            try:
+                results[index] = handle.get(policy.task_timeout)
+            except Exception as exc:
+                clean = False
+                last_error = exc
+                unfinished.append(index)
+        pending = unfinished
+        if not clean:
+            pool.restart()
+
+    if pending:
+        warnings.warn(
+            f"parallel backend: {len(pending)} shard(s) unfinished after "
+            f"{policy.attempts} pool attempt(s) (last error: "
+            f"{last_error!r}); degrading to serial in-process execution "
+            "for those shards (results remain bit-identical)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for index in pending:
+            lo, hi = plan[index]
+            results[index] = _run_shard(state, lo, hi, spill)
+
     return [result for result in results if result is not None]
 
 
@@ -363,6 +652,9 @@ def parallel_metablocking(
     task_timeout: float | None = None,
     max_retries: int | None = None,
     retry_policy: RetryPolicy | None = None,
+    pool: str = "per-run",
+    spill_dir: str | None = None,
+    spill_threshold_mb: float | None = None,
 ) -> list[Edge]:
     """The ``parallel`` meta-blocking backend: sorted retained edges.
 
@@ -402,6 +694,16 @@ def parallel_metablocking(
         Full :class:`~repro.reliability.RetryPolicy` override (timeout,
         retries, seeded backoff).  Mutually exclusive with the
         ``task_timeout``/``max_retries`` shorthands.
+    pool:
+        ``"per-run"`` (default) builds and tears down a pool per call;
+        ``"persistent"`` reuses the process-wide pool and ships the CSR
+        arrays through shared memory, published once per index — the
+        amortized mode for pipelines that meta-block repeatedly.
+    spill_dir / spill_threshold_mb:
+        Set together to arm the out-of-core tier: shard and merged
+        arrays above the megabyte budget stream to atomic ``.npy`` files
+        under a private subdirectory of *spill_dir* (removed on every
+        exit path), bounding peak RSS with bit-identical results.
     """
     if isinstance(weighting, str):
         weighting = WeightingScheme(weighting)
@@ -419,6 +721,14 @@ def parallel_metablocking(
         )
     if shard_size is not None and shard_size < 1:
         raise ValueError(f"shard_size must be positive, got {shard_size}")
+    if pool not in ("per-run", "persistent"):
+        raise ValueError(
+            f"pool must be 'per-run' or 'persistent', got {pool!r}"
+        )
+    if (spill_dir is None) != (spill_threshold_mb is None):
+        raise ValueError(
+            "spill_dir and spill_threshold_mb must be set together"
+        )
     if retry_policy is None:
         retry_policy = RetryPolicy(
             max_retries=2 if max_retries is None else max_retries,
@@ -431,7 +741,14 @@ def parallel_metablocking(
     workers = resolve_workers(workers)
 
     index = collection.entity_index
-    slim = ShardableIndex.from_entity_index(index)
+    # EntityIndex caches its shardable view, so repeated runs within one
+    # pipeline share a single ShardableIndex object — the identity token
+    # the persistent pool's publication cache keys on.
+    slim = (
+        index.shardable
+        if hasattr(index, "shardable")
+        else ShardableIndex.from_entity_index(index)
+    )
     plan = (
         shard_plan
         if shard_plan is not None
@@ -460,41 +777,62 @@ def parallel_metablocking(
         num_blocks=index.num_blocks,
     )
 
-    if workers > 1 and len(plan) > 1:
-        results = _dispatch_shards(state, list(plan), workers, retry_policy)
-    else:
-        results = [_run_shard(state, lo, hi) for lo, hi in plan]
-
-    edges = merge_shards([edges for edges, _ in results])
-    if weight_in_worker:
-        shard_weights = [
-            weights for _, weights in results if weights is not None
-        ]
-        weights = (
-            np.concatenate(shard_weights)
-            if shard_weights
-            else np.zeros(0, dtype=np.float64)
-        )
-    else:
-        degrees = edge_degrees(edges.src, edges.dst, counts.size)
-        weights = compute_edge_weights(
-            WeightingScheme.EJS,
-            shared=edges.shared,
-            blocks_i=counts[edges.src],
-            blocks_j=counts[edges.dst],
-            num_blocks=index.num_blocks,
-            entropy_mass=edges.entropy_mass,
-            degrees_src=degrees[edges.src],
-            degrees_dst=degrees[edges.dst],
-            num_edges=edges.num_edges,
-            entropy_boost=entropy_boost,
-        )
-
-    graph = _MergedGraph(
-        src=edges.src,
-        dst=edges.dst,
-        node_blocks=counts,
-        num_nodes=index.num_indexed_profiles,
+    spill_job = (
+        SpillJob(spill_dir, spill_threshold_mb)
+        if spill_dir is not None and spill_threshold_mb is not None
+        else None
     )
-    mask = prune_mask(pruning, graph, weights)
-    return list(zip(edges.src[mask].tolist(), edges.dst[mask].tolist()))
+    spill = spill_job.spec if spill_job is not None else None
+    try:
+        if workers > 1 and len(plan) > 1:
+            dispatch = (
+                _dispatch_shards_persistent
+                if pool == "persistent"
+                else _dispatch_shards
+            )
+            raw = dispatch(state, list(plan), workers, retry_policy, spill)
+        else:
+            raw = [_run_shard(state, lo, hi, spill) for lo, hi in plan]
+
+        # Spilled shards reopen as memmaps here: pages fault in as the
+        # merge copies them, so residency stays one shard at a time.
+        results = [
+            (resolve_shard(edges), load_array(weights))
+            for edges, weights in raw
+        ]
+        edges = merge_shards([edges for edges, _ in results], spill)
+        if weight_in_worker:
+            shard_weights = [
+                weights for _, weights in results if weights is not None
+            ]
+            weights = (
+                concat_spillable(shard_weights, spill, "merged-weights")
+                if shard_weights
+                else np.zeros(0, dtype=np.float64)
+            )
+        else:
+            degrees = edge_degrees(edges.src, edges.dst, counts.size)
+            weights = compute_edge_weights(
+                WeightingScheme.EJS,
+                shared=edges.shared,
+                blocks_i=counts[edges.src],
+                blocks_j=counts[edges.dst],
+                num_blocks=index.num_blocks,
+                entropy_mass=edges.entropy_mass,
+                degrees_src=degrees[edges.src],
+                degrees_dst=degrees[edges.dst],
+                num_edges=edges.num_edges,
+                entropy_boost=entropy_boost,
+            )
+
+        graph = _MergedGraph(
+            src=edges.src,
+            dst=edges.dst,
+            node_blocks=counts,
+            num_nodes=index.num_indexed_profiles,
+        )
+        mask = prune_mask(pruning, graph, weights)
+        return list(zip(edges.src[mask].tolist(), edges.dst[mask].tolist()))
+    finally:
+        if spill_job is not None:
+            spill_job.cleanup()

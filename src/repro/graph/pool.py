@@ -1,0 +1,367 @@
+"""Shared-memory array publication and the persistent worker pool.
+
+The per-run ``multiprocessing.Pool`` of :mod:`repro.graph.parallel` pays
+its fork/spawn cost and re-ships the CSR arrays on every call —
+acceptable for one large batch job, fatal for a pipeline that
+meta-blocks many times (the benchmark loop, repeated pipeline stages):
+``BENCH_metablocking.json`` showed the parallel backend *losing* to the
+serial vectorized path because pool startup swamped a sub-second job.
+This module provides the two primitives the ``pool="persistent"`` mode
+is built from:
+
+* :class:`SharedArrayBundle` / :class:`AttachedArrays` — numpy arrays
+  placed zero-copy into named ``multiprocessing.shared_memory``
+  segments, described by a picklable manifest of ``(segment name,
+  dtype, shape)`` entries.  The publishing process owns the segments
+  and unlinks them deterministically on :meth:`SharedArrayBundle.close`;
+  attaching processes map them and close their maps without unlinking
+  (the resource tracker is told to stand down, so ownership stays
+  single-sided and nothing is unlinked twice).
+* :class:`PersistentPool` — a worker pool created once and reused
+  across runs, with :meth:`~PersistentPool.restart` (terminate + refork,
+  the fault-recovery path) and a module-level singleton
+  (:func:`get_pool` / :func:`shutdown_pool`) hooked into ``atexit`` so
+  no segments or child processes outlive the interpreter.
+
+Empty arrays are carried inline in the manifest (``SharedMemory``
+refuses zero-byte segments) and rebuilt on attach, so publication
+round-trips any CSR layout, including degenerate empty collections.
+Live owner-side segment names are tracked in :func:`live_segments`,
+which the leaked-resource regression tests assert empty after every
+run, injected fault, and interrupt.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import warnings
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "AttachedArrays",
+    "BlobSegment",
+    "PersistentPool",
+    "SegmentSpec",
+    "SharedArrayBundle",
+    "add_shutdown_hook",
+    "get_pool",
+    "live_segments",
+    "pool_context",
+    "read_blob",
+    "shutdown_pool",
+]
+
+#: Names of owner-side segments currently published by this process.
+#: Exact accounting (create adds, close removes) so tests can assert
+#: zero leaks without racing on a global /dev/shm listing.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_segments() -> frozenset[str]:
+    """Names of the shared-memory segments this process still owns."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+# Resource-tracker accounting (Python < 3.13 has no ``track=False``):
+# ``SharedMemory(name=...)`` registers every attachment too, but on POSIX
+# both fork and spawn children inherit the *parent's* tracker, whose
+# per-name cache is a set — the attach-side register is an idempotent
+# no-op and the owner's single unlink-side unregister keeps the books
+# balanced.  Attachers therefore must NOT unregister (that would steal
+# the owner's entry and make the owner's unlink a noisy tracker
+# KeyError).  The one unsupported layout is attaching from a process
+# *outside* the owner's tree: its private tracker would unlink the
+# segment when it exits.  All attachers here are pool children.
+
+
+def _close_segment(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    except BufferError:
+        # A numpy view over the buffer is still alive somewhere; the map
+        # stays until that view dies, but unlinking (owner side) still
+        # removes the name, so nothing persists past the process.
+        warnings.warn(
+            f"shared segment {segment.name!r} closed while views were "
+            "still exported",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Manifest entry: where (and with what layout) one array lives.
+
+    ``name`` is ``None`` for empty arrays, which travel inline — there
+    is no zero-byte segment to attach; the attacher rebuilds
+    ``np.zeros(shape, dtype)`` locally.
+    """
+
+    name: str | None
+    dtype: str
+    shape: tuple[int, ...]
+
+
+class SharedArrayBundle:
+    """Owner side: named shared-memory segments holding a dict of arrays.
+
+    Built through :meth:`publish`; the manifest (picklable) travels to
+    workers, the array bytes never do.  :meth:`close` closes *and
+    unlinks* every segment, exactly once, on every path — the publisher
+    is the single owner.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._manifest: dict[str, SegmentSpec] = {}
+        self._closed = False
+
+    @classmethod
+    def publish(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy *arrays* into fresh named segments (one per array)."""
+        bundle = cls()
+        try:
+            for key, array in arrays.items():
+                bundle._add(key, array)
+        except BaseException:
+            bundle.close()
+            raise
+        return bundle
+
+    def _add(self, key: str, array: np.ndarray) -> None:
+        contiguous = np.ascontiguousarray(array)
+        if contiguous.nbytes == 0:
+            self._manifest[key] = SegmentSpec(
+                None, str(contiguous.dtype), contiguous.shape
+            )
+            return
+        # Registered in the owning list BEFORE the copy: a failure while
+        # writing still leaves the segment where close() can unlink it.
+        self._segments.append(
+            shared_memory.SharedMemory(create=True, size=contiguous.nbytes)
+        )
+        segment = self._segments[-1]
+        _LIVE_SEGMENTS.add(segment.name)
+        view = np.ndarray(
+            contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf
+        )
+        view[...] = contiguous
+        self._manifest[key] = SegmentSpec(
+            segment.name, str(contiguous.dtype), contiguous.shape
+        )
+
+    @property
+    def manifest(self) -> dict[str, SegmentSpec]:
+        """Picklable description of every published array."""
+        return dict(self._manifest)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent, owner side only)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            _close_segment(segment)
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already removed (e.g. an external /dev/shm sweep)
+            _LIVE_SEGMENTS.discard(segment.name)
+        self._segments.clear()
+
+
+class AttachedArrays:
+    """Attacher side: zero-copy numpy views over a published manifest.
+
+    ``arrays[key]`` aliases the publisher's bytes directly (no pickle,
+    no copy).  :meth:`close` drops the views and unmaps the segments
+    without unlinking them — the publisher owns the names.
+    """
+
+    def __init__(self, manifest: dict[str, SegmentSpec]) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.arrays: dict[str, np.ndarray] = {}
+        try:
+            for key, spec in manifest.items():
+                if spec.name is None:
+                    self.arrays[key] = np.zeros(
+                        spec.shape, dtype=np.dtype(spec.dtype)
+                    )
+                    continue
+                self._segments.append(
+                    shared_memory.SharedMemory(name=spec.name)
+                )
+                segment = self._segments[-1]
+                self.arrays[key] = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Drop the views and unmap (never unlink) the segments."""
+        self.arrays.clear()
+        for segment in self._segments:
+            _close_segment(segment)
+        self._segments.clear()
+
+
+class BlobSegment:
+    """One pickled-bytes segment: job specs travel by name, not payload.
+
+    The first 8 bytes store the payload length little-endian (segment
+    sizes are page-rounded, so the map alone cannot recover it).
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._shm = shared_memory.SharedMemory(create=True, size=8 + len(data))
+        _LIVE_SEGMENTS.add(self._shm.name)
+        self._shm.buf[:8] = len(data).to_bytes(8, "little")
+        self._shm.buf[8 : 8 + len(data)] = data
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent, owner side only)."""
+        if self._closed:
+            return
+        self._closed = True
+        _close_segment(self._shm)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass  # already removed externally
+        _LIVE_SEGMENTS.discard(self._shm.name)
+
+
+def read_blob(name: str) -> bytes:
+    """The payload of a :class:`BlobSegment`, copied out (attacher side)."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        length = int.from_bytes(bytes(segment.buf[:8]), "little")
+        return bytes(segment.buf[8 : 8 + length])
+    finally:
+        segment.close()
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, shares pages COW); fall back to the default.
+
+    The fallback is announced through :mod:`warnings` rather than taken
+    silently: under ``spawn`` every worker re-imports the package and
+    initializer payloads travel by pickle, so a run benchmarked under
+    ``fork`` behaves very differently — the operator should know which
+    regime they are in.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    context = multiprocessing.get_context()
+    warnings.warn(
+        "multiprocessing 'fork' start method unavailable on this platform; "
+        f"falling back to {context.get_start_method()!r} (workers re-import "
+        "the package and receive shared state by pickle)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return context
+
+
+class PersistentPool:
+    """A worker pool created once and reused across meta-blocking runs.
+
+    Workers attach to each job's published arrays lazily (and cache the
+    attachment by job name), so successive runs over the same index pay
+    zero fork cost and zero array shipping — the amortization the
+    per-run pool cannot offer.
+    """
+
+    def __init__(self, processes: int) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be positive, got {processes}")
+        self._context = pool_context()
+        self._processes = processes
+        self._pool = self._context.Pool(processes=processes)
+
+    @property
+    def processes(self) -> int:
+        return self._processes
+
+    def apply_async(self, func: Callable[..., Any], args: tuple) -> Any:
+        """Submit one task; returns the ``AsyncResult`` handle."""
+        return self._pool.apply_async(func, args)
+
+    def restart(self) -> None:
+        """Terminate the workers and fork a fresh set (fault recovery).
+
+        A timed-out task keeps its worker busy forever, and a killed
+        worker can leave the pool's bookkeeping wedged — the retry path
+        swaps in a clean pool rather than trusting a dirty one.  Dead
+        workers drop their shared-memory attachments with their address
+        spaces, so no segment leaks across restarts.
+        """
+        self._pool.terminate()
+        self._pool.join()
+        self._pool = self._context.Pool(processes=self._processes)
+
+    def shutdown(self) -> None:
+        """Terminate and join the workers (the pool is unusable after)."""
+        self._pool.terminate()
+        self._pool.join()
+
+
+#: The process-wide persistent pool (created lazily by :func:`get_pool`).
+_POOL: PersistentPool | None = None
+
+#: Callbacks run by :func:`shutdown_pool` before the pool dies — e.g.
+#: the parallel backend's publication cache unlinking its segments.
+_SHUTDOWN_HOOKS: list[Callable[[], None]] = []
+
+
+def add_shutdown_hook(hook: Callable[[], None]) -> None:
+    """Register *hook* to run on every :func:`shutdown_pool` (idempotent)."""
+    if hook not in _SHUTDOWN_HOOKS:
+        _SHUTDOWN_HOOKS.append(hook)
+
+
+def get_pool(workers: int) -> PersistentPool:
+    """The singleton pool, rebuilt only when *workers* outgrows it.
+
+    A pool larger than the current job is reused as-is (idle workers
+    cost nothing); a smaller one is torn down and regrown — grow-only,
+    so alternating worker counts never thrash forks.
+    """
+    global _POOL
+    if _POOL is not None and _POOL.processes < workers:
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = PersistentPool(workers)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool and every registered publication.
+
+    Safe to call any time (idempotent); registered on ``atexit`` so an
+    interpreter that used the persistent mode exits with zero leaked
+    children and zero leaked ``/dev/shm`` segments.
+    """
+    global _POOL
+    for hook in _SHUTDOWN_HOOKS:
+        hook()
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)

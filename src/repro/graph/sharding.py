@@ -30,6 +30,7 @@ order — and hence every float rounding — matches
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -48,6 +49,10 @@ __all__ = [
     "plan_shards",
     "shard_edge_arrays",
 ]
+
+
+#: Source of :attr:`ShardableIndex.identity_token` values (process-wide).
+_IDENTITY_TOKENS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,19 @@ class ShardableIndex:
     def entity_ids64(self) -> np.ndarray:
         """``entity_ids`` widened once to int64 (pair packing needs it)."""
         return self.entity_ids.astype(np.int64)
+
+    @cached_property
+    def identity_token(self) -> int:
+        """Process-unique token assigned on first use.
+
+        The arrays are immutable by convention, so object identity is a
+        sound cache key — the persistent pool's publication cache uses
+        this token to recognize "same index as last run" without hashing
+        gigabytes of array content.  Monotonic, never reused within a
+        process, stable across pickling of an already-tokenized index
+        (the cached value rides along in ``__dict__``).
+        """
+        return next(_IDENTITY_TOKENS)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,33 @@
+"""RL008 fixtures that MUST fire: leakable handles without a release."""
+
+import numpy as np
+from multiprocessing import shared_memory
+from numpy.lib.format import open_memmap
+
+
+def leaky_segment(nbytes: int) -> memoryview:
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)  # RL008: no finally release
+    return segment.buf  # the view escapes; the segment name leaks
+
+
+def close_outside_finally(name: str) -> bytes:
+    segment = shared_memory.SharedMemory(name=name)  # RL008: close() not exception-safe
+    payload = bytes(segment.buf)
+    segment.close()  # skipped entirely if the copy above raises
+    return payload
+
+
+def dropped_handle() -> None:
+    shared_memory.SharedMemory(create=True, size=64)  # RL008: bare-expression creation
+
+
+def leaky_memmap(path: str) -> int:
+    scratch = np.memmap(path, dtype=np.uint8, mode="w+", shape=(8,))  # RL008: never flushed or closed
+    scratch[0] = 1
+    return int(scratch[0])
+
+
+def unflushed_output(path: str, total: int) -> None:
+    out = open_memmap(path, mode="w+", dtype=np.int64, shape=(total,))  # RL008: flush() not in finally
+    out[:] = 0
+    out.flush()  # skipped if the fill raises

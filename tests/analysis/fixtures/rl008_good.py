@@ -1,0 +1,61 @@
+"""RL008 fixtures that must stay SILENT: released or ownership-moved."""
+
+from contextlib import closing
+
+import numpy as np
+from multiprocessing import shared_memory
+from numpy.lib.format import open_memmap
+
+
+def finally_released(nbytes: int) -> bytes:
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def context_managed(name: str) -> bytes:
+    with closing(shared_memory.SharedMemory(name=name)) as segment:
+        return bytes(segment.buf)
+
+
+def named_then_context(name: str) -> int:
+    segment = shared_memory.SharedMemory(name=name)
+    with closing(segment):
+        return segment.size
+
+
+def ownership_returned(nbytes: int) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def ownership_to_container(segments: list, nbytes: int) -> None:
+    # The container's owner releases these; creation-in-call is the
+    # register-before-fallible-work idiom, not a leak.
+    segments.append(shared_memory.SharedMemory(create=True, size=nbytes))
+
+
+class SegmentOwner:
+    """Attribute-managed handle: released by the instance's close()."""
+
+    def __init__(self, nbytes: int) -> None:
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+
+    def close(self) -> None:
+        self._shm.close()
+        self._shm.unlink()
+
+
+def flushed_in_finally(path: str, total: int) -> None:
+    out = open_memmap(path, mode="w+", dtype=np.int64, shape=(total,))
+    try:
+        out[:] = 0
+    finally:
+        out.flush()
+
+
+def memmap_returned(path: str) -> np.memmap:
+    scratch = np.memmap(path, dtype=np.uint8, mode="r", shape=(8,))
+    return scratch

@@ -50,8 +50,13 @@ def test_bench_scaling_runs_at_tiny_scale(tmp_path, capsys):
     assert report["phase_breakdown"]["equivalent"] is True
 
 
-def test_bench_scaling_speedup_floor_enforced(tmp_path, capsys):
+def test_bench_scaling_speedup_floor_enforced(tmp_path, capsys, monkeypatch):
+    import os
+
     bench_scaling = importlib.import_module("bench_scaling")
+    # The floor only applies on multicore machines; pretend to be one so
+    # the gate is exercised regardless of the CI box's core count.
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
     code = bench_scaling.main(
         ["--profiles", "250", "--repeats", "1", "--schemes", "cbs",
          "--workers", "1", "--output", str(tmp_path / "bench.json"),
@@ -60,6 +65,47 @@ def test_bench_scaling_speedup_floor_enforced(tmp_path, capsys):
     )
     capsys.readouterr()
     assert code == 1
+
+
+def test_bench_scaling_speedup_floor_skipped_on_one_cpu(
+    tmp_path, capsys, monkeypatch
+):
+    import os
+
+    bench_scaling = importlib.import_module("bench_scaling")
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    code = bench_scaling.main(
+        ["--profiles", "250", "--repeats", "1", "--schemes", "cbs",
+         "--workers", "1", "--output", str(tmp_path / "bench.json"),
+         "--min-parallel-speedup", "1e9"]
+    )
+    out = capsys.readouterr().out
+    # Bit-identity is still asserted (exit 0 requires all_equivalent);
+    # only the speedup floor is waived.
+    assert code == 0
+    assert "single-CPU" in out
+
+
+def test_bench_scaling_large_tier_at_tiny_scale(tmp_path, capsys):
+    bench_scaling = importlib.import_module("bench_scaling")
+    output = tmp_path / "bench.json"
+    code = bench_scaling.main(
+        ["--profiles", "250", "--repeats", "1", "--schemes", "cbs",
+         "--workers", "1", "--large-tier", "--large-profiles", "300",
+         "--spill-threshold-mb", "1e-6", "--output", str(output)]
+    )
+    capsys.readouterr()
+    assert code == 0
+    report = json.loads(output.read_text(encoding="utf-8"))
+    tier = report["large_tier"]
+    assert tier["equivalent"] is True
+    assert tier["spill_leftover_files"] == []
+    assert tier["spilled"]["peak_rss_mb"] >= 0.0
+    assert tier["parallel_scaling"]["all_equivalent"] is True
+    assert all(
+        "persistent_seconds" in run
+        for run in tier["parallel_scaling"]["runs"]
+    )
 
 
 def test_bench_streaming_runs_at_tiny_scale(tmp_path, capsys):

@@ -1,0 +1,185 @@
+"""Fault-injected persistent-pool execution and leaked-resource guards.
+
+The persistent pool amortizes forks across runs, which raises the
+stakes of every failure mode: a wedged worker must be replaced by
+:meth:`PersistentPool.restart`, a degraded run must still match the
+serial oracle bit for bit, and no exit path — normal, injected kill, or
+interrupt — may leave a child process, a ``/dev/shm`` segment, or a
+spill file behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+
+import pytest
+
+from repro.blocking.base import build_blocks
+from repro.graph import WeightingScheme
+from repro.graph.parallel import WORKER_FAULT_SITE, parallel_metablocking
+from repro.graph.pool import live_segments, shutdown_pool
+from repro.graph.pruning import BlastPruning
+from repro.graph.vectorized import vectorized_metablocking
+from repro.reliability import FAULTS, RetryPolicy
+
+
+@pytest.fixture
+def blocks():
+    return build_blocks(
+        {"a": {0, 1, 2}, "b": {1, 2, 3}, "c": {0, 3}, "d": {2, 3, 4},
+         "e": {0, 4}, "f": {1, 4}},
+        is_clean_clean=False,
+    )
+
+
+@pytest.fixture
+def oracle(blocks):
+    return vectorized_metablocking(
+        blocks, weighting=WeightingScheme.CHI_H, pruning=BlastPruning()
+    )
+
+
+@pytest.fixture
+def fork_only():
+    if multiprocessing.get_start_method(allow_none=False) != "fork":
+        pytest.skip("programmatically armed faults require fork workers")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Fork AFTER each test arms its faults, and tear down afterwards.
+
+    Armed faults travel to workers by fork-time memory sharing, so a
+    pool forked before the arm would never see them; shutting the
+    singleton down on both sides of the test makes the fork happen
+    inside the armed window and leaves nothing for the next test.
+    """
+    shutdown_pool()
+    yield
+    shutdown_pool()
+    assert live_segments() == frozenset()
+    for child in multiprocessing.active_children():
+        child.join(timeout=5)
+    assert multiprocessing.active_children() == []
+
+
+def run_persistent(blocks, **kwargs):
+    return parallel_metablocking(
+        blocks, weighting=WeightingScheme.CHI_H, pruning=BlastPruning(),
+        workers=2, shard_size=3, pool="persistent", **kwargs,
+    )
+
+
+class TestPersistentHappyPath:
+    def test_matches_oracle(self, blocks, oracle):
+        assert run_persistent(blocks) == oracle
+
+    def test_repeated_runs_reuse_the_pool(self, blocks, oracle):
+        first = run_persistent(blocks)
+        children = multiprocessing.active_children()
+        assert children  # the pool stays alive between runs
+        second = run_persistent(blocks)
+        assert multiprocessing.active_children() == children
+        assert first == second == oracle
+
+    def test_segments_released_after_shutdown(self, blocks, oracle):
+        assert run_persistent(blocks) == oracle
+        # Publications are cached while the pool lives (that is the
+        # amortization); shutdown must release every last segment.
+        shutdown_pool()
+        assert live_segments() == frozenset()
+
+
+class TestPersistentInjectedFailure:
+    def test_injected_raise_retries_to_oracle(self, blocks, oracle, fork_only):
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise", hits=1):
+            result = run_persistent(
+                blocks,
+                retry_policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+            )
+        assert result == oracle
+
+    def test_poisoned_tasks_degrade_to_serial(self, blocks, oracle, fork_only):
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise"):
+            with pytest.warns(RuntimeWarning, match="degrading to serial"):
+                result = run_persistent(
+                    blocks,
+                    retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+                )
+        assert result == oracle
+
+    def test_killed_worker_recovered_by_restart(
+        self, blocks, oracle, fork_only
+    ):
+        # The kill wedges the batch; the dispatcher must restart the
+        # persistent pool and the retry must still match the oracle.
+        with FAULTS.injected(WORKER_FAULT_SITE, "kill", hits=1):
+            result = run_persistent(
+                blocks,
+                retry_policy=RetryPolicy(
+                    max_retries=2, task_timeout=2.0, backoff_base=0.0
+                ),
+            )
+        assert result == oracle
+
+    def test_no_leaks_after_total_worker_loss(self, blocks, fork_only):
+        with FAULTS.injected(WORKER_FAULT_SITE, "kill"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                run_persistent(
+                    blocks,
+                    retry_policy=RetryPolicy(
+                        max_retries=1, task_timeout=1.0, backoff_base=0.0
+                    ),
+                )
+        shutdown_pool()
+        assert live_segments() == frozenset()
+
+
+class TestSpillLifecycle:
+    def test_spill_directory_empty_after_run(self, blocks, oracle, tmp_path):
+        result = parallel_metablocking(
+            blocks, weighting=WeightingScheme.CHI_H, pruning=BlastPruning(),
+            workers=2, shard_size=3,
+            spill_dir=str(tmp_path), spill_threshold_mb=1e-6,
+        )
+        assert result == oracle
+        assert os.listdir(tmp_path) == []
+
+    def test_spill_cleaned_after_injected_failure(
+        self, blocks, oracle, tmp_path, fork_only
+    ):
+        with FAULTS.injected(WORKER_FAULT_SITE, "raise", hits=1):
+            result = parallel_metablocking(
+                blocks, weighting=WeightingScheme.CHI_H,
+                pruning=BlastPruning(), workers=2, shard_size=3,
+                spill_dir=str(tmp_path), spill_threshold_mb=1e-6,
+                retry_policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+            )
+        assert result == oracle
+        assert os.listdir(tmp_path) == []
+
+    def test_interrupt_releases_spill_and_segments(
+        self, blocks, tmp_path, monkeypatch
+    ):
+        # A Ctrl-C between dispatch and merge must sweep the spill
+        # directory (finally-guarded) and leave no owned segments once
+        # the pool is shut down.
+        import repro.graph.parallel as parallel_module
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel_module, "merge_shards", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            parallel_metablocking(
+                blocks, weighting=WeightingScheme.CHI_H,
+                pruning=BlastPruning(), workers=2, shard_size=3,
+                pool="persistent",
+                spill_dir=str(tmp_path), spill_threshold_mb=1e-6,
+            )
+        assert os.listdir(tmp_path) == []
+        shutdown_pool()
+        assert live_segments() == frozenset()

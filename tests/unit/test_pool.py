@@ -1,0 +1,200 @@
+"""Unit tests: shared-memory publication and the persistent worker pool.
+
+The end-to-end bit-identity of ``pool="persistent"`` is covered by the
+conformance matrix and the reliability suite; these tests pin the
+primitives — segment round trips, manifest shape, owner-side accounting,
+singleton growth — on small arrays.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph.pool import (
+    AttachedArrays,
+    BlobSegment,
+    PersistentPool,
+    SharedArrayBundle,
+    add_shutdown_hook,
+    get_pool,
+    live_segments,
+    read_blob,
+    shutdown_pool,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pool_teardown():
+    """Every test leaves no singleton pool and no owned segments behind."""
+    yield
+    shutdown_pool()
+    assert live_segments() == frozenset()
+
+
+class TestSharedArrayBundle:
+    def test_round_trip_preserves_values_and_dtypes(self):
+        arrays = {
+            "ptr": np.array([0, 2, 5], dtype=np.int64),
+            "ids": np.array([[1, 2], [3, 4]], dtype=np.int32),
+            "weights": np.array([0.5, 1.25, -3.0], dtype=np.float64),
+            "flags": np.array([True, False], dtype=np.bool_),
+        }
+        bundle = SharedArrayBundle.publish(arrays)
+        try:
+            attached = AttachedArrays(bundle.manifest)
+            try:
+                assert set(attached.arrays) == set(arrays)
+                for key, original in arrays.items():
+                    got = attached.arrays[key]
+                    assert got.dtype == original.dtype
+                    assert got.shape == original.shape
+                    assert np.array_equal(got, original)
+            finally:
+                attached.close()
+        finally:
+            bundle.close()
+
+    def test_empty_arrays_travel_inline(self):
+        arrays = {"empty": np.zeros(0, dtype=np.float64)}
+        bundle = SharedArrayBundle.publish(arrays)
+        try:
+            spec = bundle.manifest["empty"]
+            assert spec.name is None  # no zero-byte segment exists
+            attached = AttachedArrays(bundle.manifest)
+            try:
+                rebuilt = attached.arrays["empty"]
+                assert rebuilt.size == 0
+                assert rebuilt.dtype == np.float64
+            finally:
+                attached.close()
+        finally:
+            bundle.close()
+
+    def test_manifest_is_picklable(self):
+        bundle = SharedArrayBundle.publish(
+            {"a": np.arange(4, dtype=np.int64)}
+        )
+        try:
+            manifest = pickle.loads(pickle.dumps(bundle.manifest))
+            attached = AttachedArrays(manifest)
+            try:
+                assert np.array_equal(
+                    attached.arrays["a"], np.arange(4, dtype=np.int64)
+                )
+            finally:
+                attached.close()
+        finally:
+            bundle.close()
+
+    def test_live_segment_accounting_and_idempotent_close(self):
+        before = live_segments()
+        bundle = SharedArrayBundle.publish(
+            {
+                "a": np.arange(3, dtype=np.int64),
+                "b": np.arange(5, dtype=np.float64),
+                "empty": np.zeros(0, dtype=np.int32),
+            }
+        )
+        created = live_segments() - before
+        assert len(created) == 2  # the empty array owns no segment
+        bundle.close()
+        assert live_segments() == before
+        bundle.close()  # second close is a no-op
+        assert live_segments() == before
+
+    def test_attached_arrays_alias_the_published_bytes(self):
+        bundle = SharedArrayBundle.publish(
+            {"a": np.arange(6, dtype=np.int64)}
+        )
+        try:
+            attached = AttachedArrays(bundle.manifest)
+            try:
+                # Zero-copy contract: the view maps the segment, it does
+                # not own its data.
+                assert not attached.arrays["a"].flags.owndata
+            finally:
+                attached.close()
+        finally:
+            bundle.close()
+
+
+class TestBlobSegment:
+    def test_round_trip(self):
+        payload = pickle.dumps({"scheme": "ECBS", "num_ids": 17})
+        blob = BlobSegment(payload)
+        try:
+            assert read_blob(blob.name) == payload
+        finally:
+            blob.close()
+
+    def test_empty_payload(self):
+        blob = BlobSegment(b"")
+        try:
+            assert read_blob(blob.name) == b""
+        finally:
+            blob.close()
+
+    def test_close_is_idempotent_and_accounted(self):
+        before = live_segments()
+        blob = BlobSegment(b"xyz")
+        assert blob.name in live_segments()
+        blob.close()
+        blob.close()
+        assert live_segments() == before
+
+
+def _double(value):
+    return value * 2
+
+
+class TestPersistentPool:
+    def test_rejects_nonpositive_processes(self):
+        with pytest.raises(ValueError, match="positive"):
+            PersistentPool(0)
+
+    def test_apply_async_runs_tasks(self):
+        pool = PersistentPool(1)
+        try:
+            handles = [pool.apply_async(_double, (k,)) for k in range(4)]
+            assert [h.get(30) for h in handles] == [0, 2, 4, 6]
+        finally:
+            pool.shutdown()
+
+    def test_restart_yields_a_usable_pool(self):
+        pool = PersistentPool(1)
+        try:
+            assert pool.apply_async(_double, (3,)).get(30) == 6
+            pool.restart()
+            assert pool.apply_async(_double, (5,)).get(30) == 10
+        finally:
+            pool.shutdown()
+
+
+class TestSingleton:
+    def test_get_pool_reuses_and_grows(self):
+        small = get_pool(1)
+        assert get_pool(1) is small  # same size: reuse
+        grown = get_pool(2)
+        assert grown is not small  # outgrown: rebuilt
+        assert grown.processes == 2
+        assert get_pool(1) is grown  # grow-only: bigger pool serves 1
+
+    def test_shutdown_hooks_run_once_registered(self):
+        calls: list[str] = []
+
+        def hook() -> None:
+            calls.append("ran")
+
+        add_shutdown_hook(hook)
+        add_shutdown_hook(hook)  # idempotent registration
+        try:
+            shutdown_pool()
+            assert calls == ["ran"]
+        finally:
+            from repro.graph import pool as pool_module
+
+            if hook in pool_module._SHUTDOWN_HOOKS:
+                pool_module._SHUTDOWN_HOOKS.remove(hook)
