@@ -32,7 +32,6 @@ the paper's tables lives in the ``bench_table*.py`` files).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import subprocess
@@ -55,42 +54,24 @@ from repro.core import prepare_blocks  # noqa: E402
 from repro.core.registry import BACKENDS  # noqa: E402
 from repro.core.stages import SchemaExtraction  # noqa: E402
 from repro.datasets import load_clean_clean  # noqa: E402
+from repro.experiments.runutils import (  # noqa: E402
+    pairs_digest,
+    peak_rss_mb,
+    scale_for_profiles,
+    write_json_report,
+)
 from repro.graph import MetaBlocker, WeightingScheme  # noqa: E402
 from repro.graph.pruning import BlastPruning  # noqa: E402
-
-#: Profiles per unit scale of the "ar1" generator (size1 + size2).
-_AR1_PROFILES_PER_SCALE = 650 + 580
-
-
-def peak_rss_mb() -> float:
-    """This process's peak resident set in MiB (0.0 where unsupported).
-
-    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; both are the
-    process-lifetime high-water mark, which is why the spill measurement
-    runs in a fresh subprocess (``--rss-probe``) — the parent's own peak
-    would mask it.
-    """
-    try:
-        import resource
-    except ImportError:  # non-POSIX platform
-        return 0.0
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":
-        return usage / (1024 * 1024)
-    return usage / 1024
 
 
 def _pairs_digest(blocks: BlockCollection) -> str:
     """Order-independent digest of the retained pair set (probe compare)."""
-    digest = hashlib.sha256()
-    for left, right in sorted(blocks.distinct_pairs()):
-        digest.update(f"{left},{right};".encode())
-    return digest.hexdigest()
+    return pairs_digest(blocks.iter_distinct_pairs())
 
 
 def build_workload(profiles: int, seed: int) -> tuple[BlockCollection, int]:
     """A prepared (purged + filtered) token-blocking collection + its size."""
-    scale = profiles / _AR1_PROFILES_PER_SCALE
+    scale = scale_for_profiles("ar1", profiles)
     dataset = load_clean_clean("ar1", scale=scale, seed=seed)
     return prepare_blocks(dataset), dataset.num_profiles
 
@@ -334,7 +315,7 @@ def time_pipeline_phases(
     (cluster-disambiguated token blocking), restructure (purging +
     filtering) and metablocking (vectorized backend).
     """
-    scale = profiles / _AR1_PROFILES_PER_SCALE
+    scale = scale_for_profiles("ar1", profiles)
     best: dict[str, float] = {}
     out = None
 
@@ -536,7 +517,7 @@ def main(argv: list[str] | None = None) -> int:
         return run_rss_probe(args)
 
     report = run(args)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_json_report(args.output, report)
     print(f"wrote {args.output}")
 
     if not report["all_equivalent"]:

@@ -43,10 +43,13 @@ import numpy as np  # noqa: E402
 
 from repro.core import BlastConfig  # noqa: E402
 from repro.datasets import load_clean_clean  # noqa: E402
+from repro.experiments.runutils import (  # noqa: E402
+    json_envelope,
+    percentiles_ms,
+    scale_for_profiles,
+    write_json_report,
+)
 from repro.serving import ReproServer, ServingClient, TenantRegistry  # noqa: E402
-
-#: Profiles per unit scale of the "ar1" generator (size1 + size2).
-_AR1_PROFILES_PER_SCALE = 650 + 580
 
 #: One query is interleaved per this many upserts, one delete per
 #: this many upserts (the "mixed load" shape).
@@ -66,7 +69,7 @@ def build_ops(
     deletes only target profiles upserted at least *settle_lag* (> W)
     ops earlier, and every op in the replay must then be acked ``ok``.
     """
-    scale = profiles / _AR1_PROFILES_PER_SCALE
+    scale = scale_for_profiles("ar1", profiles)
     dataset = load_clean_clean("ar1", scale=scale, seed=seed)
     rng = random.Random(seed)
     ops: list[dict] = []
@@ -153,15 +156,8 @@ async def tenant_worker(
 
 
 def percentiles(samples: list[float]) -> dict[str, float]:
-    if not samples:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
-    array = np.asarray(samples, dtype=np.float64) * 1e3
-    return {
-        "p50": round(float(np.percentile(array, 50)), 4),
-        "p95": round(float(np.percentile(array, 95)), 4),
-        "p99": round(float(np.percentile(array, 99)), 4),
-        "max": round(float(array.max()), 4),
-    }
+    """Latency tail of *samples* (seconds), reported in milliseconds."""
+    return percentiles_ms(np.asarray(samples, dtype=np.float64) * 1e3)
 
 
 async def run_async(args: argparse.Namespace, data_dir: Path) -> dict:
@@ -217,37 +213,37 @@ async def run_async(args: argparse.Namespace, data_dir: Path) -> dict:
         tenant["mean_batch_size"]
         for tenant in server_stats["tenants"].values()
     ]
-    report = {
-        "benchmark": "serving_multi_tenant_mixed_load",
-        "workload": "ar1-synthetic/pipelined-upsert-query-delete",
-        "smoke": bool(args.smoke),
-        "tenants": args.tenants,
-        "profiles_per_tenant": profiles,
-        "window": args.window,
-        "serve_max_queue": args.max_queue,
-        "serve_batch_size": args.batch_size,
-        "weighting": args.weighting,
-        "seed": args.seed,
-        "total_ops": total_ops,
-        "acked_ops": counters["acked"],
-        "dropped_acks": counters["dropped_acks"],
-        "overload_retries": counters["overload_retries"],
-        "elapsed_seconds": round(elapsed, 4),
-        "ops_per_second": round(ops_per_second, 1),
-        "latency_ms": {
+    report = json_envelope(
+        "serving_multi_tenant_mixed_load",
+        "ar1-synthetic/pipelined-upsert-query-delete",
+        smoke=bool(args.smoke),
+        tenants=args.tenants,
+        profiles_per_tenant=profiles,
+        window=args.window,
+        serve_max_queue=args.max_queue,
+        serve_batch_size=args.batch_size,
+        weighting=args.weighting,
+        seed=args.seed,
+        total_ops=total_ops,
+        acked_ops=counters["acked"],
+        dropped_acks=counters["dropped_acks"],
+        overload_retries=counters["overload_retries"],
+        elapsed_seconds=round(elapsed, 4),
+        ops_per_second=round(ops_per_second, 1),
+        latency_ms={
             verb: percentiles(samples)
             for verb, samples in latencies.items()
         },
-        "mean_batch_size": round(
+        mean_batch_size=round(
             sum(mean_batches) / len(mean_batches) if mean_batches else 0.0, 3
         ),
-        "server": {
+        server={
             "requests": server_stats["server"]["requests"],
             "evictions": server_stats["server"]["evictions"],
             "recoveries": server_stats["totals"]["recoveries"],
             "overloads": server_stats["totals"]["overloads"],
         },
-    }
+    )
     print(
         f"  {total_ops} ops in {elapsed:.2f}s ({ops_per_second:,.0f} ops/s) "
         f"across {args.tenants} tenants"
@@ -295,8 +291,7 @@ def main(argv: list[str] | None = None) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         report = asyncio.run(run_async(args, Path(tmp)))
-    args.output.write_text(json.dumps(report, indent=2) + "\n",
-                           encoding="utf-8")
+    write_json_report(args.output, report)
     print(f"wrote {args.output}")
 
     failed = False

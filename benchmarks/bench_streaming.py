@@ -22,7 +22,6 @@ Not a pytest module — run it as a script (like ``bench_scaling.py``).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -35,15 +34,18 @@ import numpy as np  # noqa: E402
 
 from repro.core import BlastConfig  # noqa: E402
 from repro.datasets import load_clean_clean  # noqa: E402
+from repro.experiments.runutils import (  # noqa: E402
+    json_envelope,
+    percentiles_ms,
+    scale_for_profiles,
+    write_json_report,
+)
 from repro.streaming import StreamingSession  # noqa: E402
-
-#: Profiles per unit scale of the "ar1" generator (size1 + size2).
-_AR1_PROFILES_PER_SCALE = 650 + 580
 
 
 def build_stream(profiles: int, seed: int):
     """Arrival-ordered ``(profile, source)`` records of a generated task."""
-    scale = profiles / _AR1_PROFILES_PER_SCALE
+    scale = scale_for_profiles("ar1", profiles)
     dataset = load_clean_clean("ar1", scale=scale, seed=seed)
     return [
         (profile, dataset.source_of(gidx))
@@ -102,40 +104,34 @@ def run(args: argparse.Namespace) -> dict:
     latencies, links = replay_with_latencies(session, records, args.query_k)
     replay_seconds = time.perf_counter() - start
 
-    p50, p95, p99 = (
-        float(np.percentile(latencies, q) * 1e3) for q in (50, 95, 99)
-    )
+    latency_ms = percentiles_ms(latencies * 1e3)
+    p50, p95, p99 = latency_ms["p50"], latency_ms["p95"], latency_ms["p99"]
     qps = len(records) / replay_seconds if replay_seconds > 0 else float("inf")
-    report = {
-        "benchmark": "streaming_arrival_time_queries",
-        "workload": "ar1-synthetic/interleaved-upsert-query",
-        "smoke": bool(args.smoke),
-        "profiles": num_profiles,
-        "keys": session.index.num_blocks,
-        "consistency": args.consistency,
-        "weighting": args.weighting,
-        "query_k": args.query_k,
-        "seed": args.seed,
-        "candidate_links": links,
-        "replay_seconds": round(replay_seconds, 4),
-        "queries_per_second": round(qps, 1),
-        "latency_ms": {
-            "p50": round(p50, 4),
-            "p95": round(p95, 4),
-            "p99": round(p99, 4),
-            "max": round(float(latencies.max()) * 1e3, 4),
-        },
-        "bulk_load_seconds": round(load_seconds, 4),
-        "bulk_upserts_per_second": round(
+    report = json_envelope(
+        "streaming_arrival_time_queries",
+        "ar1-synthetic/interleaved-upsert-query",
+        smoke=bool(args.smoke),
+        profiles=num_profiles,
+        keys=session.index.num_blocks,
+        consistency=args.consistency,
+        weighting=args.weighting,
+        query_k=args.query_k,
+        seed=args.seed,
+        candidate_links=links,
+        replay_seconds=round(replay_seconds, 4),
+        queries_per_second=round(qps, 1),
+        latency_ms=latency_ms,
+        bulk_load_seconds=round(load_seconds, 4),
+        bulk_upserts_per_second=round(
             len(records) / load_seconds if load_seconds > 0 else float("inf"),
             1,
         ),
-        "snapshot": {
+        snapshot={
             "bytes": snapshot_bytes,
             "write_seconds": round(snapshot_seconds, 4),
             "restore_seconds": round(restore_seconds, 4),
         },
-    }
+    )
     print(
         f"  {len(records)} arrivals in {replay_seconds:.2f}s "
         f"({qps:,.0f} queries/s) — p50 {p50:.2f}ms, p95 {p95:.2f}ms, "
@@ -170,7 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     report = run(args)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_json_report(args.output, report)
     print(f"wrote {args.output}")
 
     if (

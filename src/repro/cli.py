@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro run      --left a.jsonl --right b.jsonl --output pairs.csv
     python -m repro evaluate --left a.jsonl --right b.jsonl \
@@ -9,6 +9,7 @@ Six subcommands::
     python -m repro stream   --input stream.jsonl --output matches.jsonl
     python -m repro serve    --data-dir tenants/ --port 7711
     python -m repro lint     src/
+    python -m repro bench    benchmarks/configs/scaling.toml
 
 ``run`` executes the BLAST pipeline and writes the candidate pairs;
 ``evaluate`` additionally scores them against a ground truth; ``generate``
@@ -20,7 +21,10 @@ are computed; ``serve`` runs the multi-tenant JSON-lines-over-TCP server
 of :mod:`repro.serving` (one journaled, crash-recovering streaming
 session per tenant); ``lint`` runs the repro-lint static contract checks
 of :mod:`repro.analysis` (also available dependency-free as ``python -m
-repro.analysis``).
+repro.analysis``); ``bench`` executes a declarative experiment config
+(datasets x pipelines x backends grid) through
+:mod:`repro.experiments` and diffs the results against committed
+benchmark history with per-metric tolerances.
 
 ``run``, ``evaluate`` and ``stream`` assemble their components from the
 registries: ``--blocker``, ``--weighting``, ``--pruning``, ``--backend``
@@ -40,6 +44,7 @@ import json
 import time
 
 from repro.analysis import cli as _lint_cli
+from repro.experiments import engine as _bench_cli
 from repro.core import BlastConfig, build_pipeline
 from repro.core.registry import (
     BACKENDS,
@@ -220,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run repro-lint static contract checks "
              "(determinism/dtype/registry invariants; see DESIGN.md)")
     _lint_cli.configure_parser(lint)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a declarative experiment config and compare against "
+             "committed benchmark history (see DESIGN.md)")
+    _bench_cli.configure_parser(bench)
     return parser
 
 
@@ -587,7 +598,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {"run": _cmd_run, "evaluate": _cmd_evaluate,
                 "generate": _cmd_generate, "stream": _cmd_stream,
-                "serve": _cmd_serve, "lint": _lint_cli.execute}
+                "serve": _cmd_serve, "lint": _lint_cli.execute,
+                "bench": _bench_cli.execute}
     try:
         return commands[args.command](args)
     except (OSError, ValueError) as exc:

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import dataclass, fields
 
 from repro.graph.weights import WeightingScheme
 
@@ -344,6 +345,22 @@ class BlastConfig:
                 f"serve_snapshot_interval must be positive or None, "
                 f"got {self.serve_snapshot_interval}"
             )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "BlastConfig":
+        """Build a config from a plain mapping, rejecting unknown keys.
+
+        ``BlastConfig(**data)`` would raise an opaque ``TypeError`` on a
+        typoed key; config files deserve the field listing.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown BlastConfig field(s) {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return cls(**mapping)  # type: ignore[arg-type]
 
     def backend_options(self) -> dict[str, object]:
         """Keyword arguments forwarded to the selected backend callable.

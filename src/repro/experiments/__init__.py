@@ -1,0 +1,57 @@
+"""Declarative experiment engine (see DESIGN.md "Experiment engine").
+
+A TOML/JSON config names a datasets x pipelines x backends x workers
+grid; :func:`run_experiment` executes it with per-cell monitoring, a
+cross-backend equivalence check, and a regression comparator against
+committed benchmark history.  ``repro bench <config>`` is the CLI form.
+"""
+
+from repro.experiments.comparator import (
+    Comparison,
+    MetricSpec,
+    MetricVerdict,
+    PathError,
+    Tolerance,
+    compare_reports,
+    resolve_path,
+)
+from repro.experiments.config import (
+    CompareSpec,
+    DatasetSpec,
+    ExperimentConfig,
+    MonitorSpec,
+    PipelineSpec,
+    load_config,
+)
+from repro.experiments.engine import run_experiment
+from repro.experiments.reporters import (
+    EXPERIMENT_SCHEMA_VERSION,
+    REPORTERS,
+    register_reporter,
+    scrub_nondeterministic,
+)
+from repro.experiments.runner import Cell, expand_grid, run_cell
+
+__all__ = [
+    "Cell",
+    "Comparison",
+    "CompareSpec",
+    "DatasetSpec",
+    "EXPERIMENT_SCHEMA_VERSION",
+    "ExperimentConfig",
+    "MetricSpec",
+    "MetricVerdict",
+    "MonitorSpec",
+    "PathError",
+    "PipelineSpec",
+    "REPORTERS",
+    "Tolerance",
+    "compare_reports",
+    "expand_grid",
+    "load_config",
+    "register_reporter",
+    "resolve_path",
+    "run_cell",
+    "run_experiment",
+    "scrub_nondeterministic",
+]

@@ -229,7 +229,13 @@ class Tenant:
         self.closing = True
         if self._writer_task is not None:
             await self.queue.join()
-            self._writer_task.cancel()
+            # join() returns once the last batch is applied, which can be
+            # *before* the writer finishes an interval snapshot it started
+            # for that batch (task_done precedes the snapshot).  Take the
+            # lock so a mid-flight snapshot completes instead of being
+            # cancelled with its worker thread still writing the file.
+            async with self.lock:
+                self._writer_task.cancel()
             try:
                 await self._writer_task
             except asyncio.CancelledError:

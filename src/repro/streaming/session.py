@@ -39,6 +39,7 @@ the last snapshot plus the journal tail.
 from __future__ import annotations
 
 import gzip
+import itertools
 import json
 import os
 import threading
@@ -82,6 +83,11 @@ __all__ = [
 #: verified on restore; format-1 snapshots (no envelope, no checksum)
 #: still restore.
 SNAPSHOT_FORMAT = 2
+
+#: Disambiguates concurrent same-process snapshot temp files (e.g. an
+#: interval snapshot orphaned by task cancellation racing the close-time
+#: snapshot); the pid alone only covers cross-process races.
+_SNAPSHOT_TMP_IDS = itertools.count()
 
 
 class SnapshotCorruptionError(ValueError):
@@ -411,7 +417,9 @@ class StreamingSession:
         if path.suffix == ".gz":
             # mtime=0 keeps the compressed bytes deterministic.
             data = gzip.compress(data, mtime=0)
-        tmp = path.with_name(path.name + ".tmp")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_SNAPSHOT_TMP_IDS)}.tmp"
+        )
         try:
             with tmp.open("wb") as handle:
                 handle.write(data)

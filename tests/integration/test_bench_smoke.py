@@ -5,19 +5,36 @@ standalone scripts or pytest-benchmark suites run on demand), so an API
 change could silently break them until the next bench session.  This
 module imports every one of them, and drives the two standalone scripts
 (``bench_scaling``, ``bench_streaming``) plus the shared ``harness``
-helpers end-to-end at tiny scale.
+helpers end-to-end at tiny scale.  The committed experiment-engine
+configs under ``benchmarks/configs/`` (and the examples walkthrough) get
+the same treatment: each one is loaded and executed with a smoke cap.
 """
 
 from __future__ import annotations
 
 import importlib
+import importlib.util
 import json
 from pathlib import Path
 
 import pytest
 
-BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+from repro.experiments import load_config, run_experiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
 BENCH_MODULES = sorted(path.stem for path in BENCH_DIR.glob("bench_*.py"))
+
+#: Every committed experiment config must stay loadable and runnable at
+#: tiny scale — the declarative analogue of the script import guard.
+CONFIG_PATHS = sorted((BENCH_DIR / "configs").glob("*.toml")) + [
+    REPO_ROOT / "examples" / "experiment_config.toml"
+]
+
+_HAS_TOML = (
+    importlib.util.find_spec("tomllib") is not None
+    or importlib.util.find_spec("tomli") is not None
+)
 
 
 @pytest.fixture(autouse=True)
@@ -118,6 +135,30 @@ def test_bench_streaming_runs_at_tiny_scale(tmp_path, capsys):
     assert code == 0
     report = json.loads(output.read_text(encoding="utf-8"))
     assert report["profiles"] > 0
+
+
+@pytest.mark.skipif(not _HAS_TOML, reason="no TOML parser available")
+@pytest.mark.parametrize(
+    "config_path", CONFIG_PATHS, ids=lambda path: path.stem
+)
+def test_every_committed_config_runs_at_tiny_scale(config_path):
+    """Drive the experiment engine over each config with a smoke cap.
+
+    Comparison is disabled (tiny-scale numbers are not comparable to the
+    full-scale baselines); the point is that the config parses, every
+    cell executes, and cross-backend cells stay bit-identical.
+    """
+    assert config_path.exists(), config_path
+    config = load_config(config_path)
+    report, comparison = run_experiment(
+        config, config_path=config_path, smoke_profiles=120, compare=False
+    )
+    assert comparison is None
+    assert report["cells"], f"{config_path.stem}: no cells produced"
+    for cell in report["cells"]:
+        assert cell["quality"]["comparisons"] >= 0
+        assert cell["perf"]["wall_seconds"] >= 0.0
+    assert report["equivalence"]["all_equivalent"] is True
 
 
 def test_harness_helpers_at_tiny_scale():

@@ -1,0 +1,162 @@
+"""Acceptance tests: the experiment engine reproduces the committed bench.
+
+Two contracts from the issue, asserted end-to-end:
+
+* ``repro bench benchmarks/configs/scaling.toml`` reproduces the
+  committed ``BENCH_metablocking.json`` within tolerance (here: exactly —
+  the config pins every gated metric with zero tolerance);
+* a deliberately degraded run fails the comparison with the offending
+  metric named in the output and a non-zero exit code.
+
+The full-scale run takes a few seconds, so it happens once per module
+and every test reads from it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import load_config, run_experiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCALING_CONFIG = REPO_ROOT / "benchmarks" / "configs" / "scaling.toml"
+CI_SMOKE_CONFIG = REPO_ROOT / "benchmarks" / "configs" / "ci_smoke.toml"
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("tomllib") is None
+    and importlib.util.find_spec("tomli") is None,
+    reason="no TOML parser available",
+)
+
+
+@pytest.fixture(scope="module")
+def scaling_outcome():
+    config = load_config(SCALING_CONFIG)
+    return run_experiment(config, config_path=SCALING_CONFIG)
+
+
+def test_scaling_config_reproduces_committed_bench(scaling_outcome):
+    report, comparison = scaling_outcome
+    assert comparison is not None
+    assert comparison.ok, comparison.summary()
+    assert len(comparison.verdicts) == 9
+    assert {verdict.status for verdict in comparison.verdicts} == {"ok"}
+    gated = {verdict.name for verdict in comparison.verdicts}
+    assert gated == {
+        "profiles",
+        "prepared_blocks",
+        "aggregate_comparisons",
+        "retained_edges_chi_h",
+        "retained_edges_cbs",
+        "retained_edges_js",
+        "retained_edges_ecbs",
+        "retained_edges_ejs",
+        "retained_edges_arcs",
+    }
+
+
+def test_scaling_report_matches_bench_headline_numbers(scaling_outcome):
+    report, _ = scaling_outcome
+    bench = json.loads(
+        (REPO_ROOT / "BENCH_metablocking.json").read_text(encoding="utf-8")
+    )
+    assert report["datasets"][0]["profiles"] == bench["profiles"]
+    cells = {cell["id"]: cell for cell in report["cells"]}
+    chi_h = cells["ar1/chi_h/vectorized"]
+    assert (
+        chi_h["stages"]["block-filtering"]["blocks_out"] == bench["blocks"]
+    )
+    assert (
+        chi_h["stages"]["block-filtering"]["comparisons_out"]
+        == bench["aggregate_comparisons"]
+    )
+    retained = {
+        run["scheme"]: run["retained_edges"] for run in bench["runs"]
+    }
+    for scheme, edges in retained.items():
+        cell = cells[f"ar1/{scheme}/vectorized"]
+        assert cell["stages"]["meta-blocking"]["blocks_out"] == edges, scheme
+
+
+def test_degraded_report_fails_comparison_naming_the_metric(
+    scaling_outcome, tmp_path, capsys
+):
+    """A seeded regression must exit non-zero and name the bad metric."""
+    report, _ = scaling_outcome
+    degraded = json.loads(json.dumps(report))
+    for cell in degraded["cells"]:
+        if cell["id"] == "ar1/chi_h/vectorized":
+            cell["stages"]["meta-blocking"]["blocks_out"] += 100
+    degraded_path = tmp_path / "degraded.json"
+    degraded_path.write_text(json.dumps(degraded), encoding="utf-8")
+
+    code = main(
+        ["bench", str(SCALING_CONFIG), "--compare-only", str(degraded_path)]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "retained_edges_chi_h" in captured.out
+    assert "REGRESSED" in captured.out
+
+
+def test_clean_report_passes_compare_only(scaling_outcome, tmp_path, capsys):
+    report, _ = scaling_outcome
+    clean_path = tmp_path / "clean.json"
+    clean_path.write_text(json.dumps(report), encoding="utf-8")
+    code = main(
+        ["bench", str(SCALING_CONFIG), "--compare-only", str(clean_path)]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "CLEAN" in captured.out
+
+
+def test_cli_smoke_run_writes_both_reports(tmp_path, capsys):
+    """One CLI invocation produces the JSON and markdown artifacts."""
+    output = tmp_path / "report.json"
+    markdown = tmp_path / "report.md"
+    code = main(
+        [
+            "bench", str(CI_SMOKE_CONFIG),
+            "--smoke-profiles", "120",
+            "--output", str(output),
+            "--markdown", str(markdown),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    report = json.loads(output.read_text(encoding="utf-8"))
+    assert report["benchmark"] == "experiment_engine"
+    assert report["smoke_profiles"] == 120
+    # Smoke runs skip comparison by default: tiny-scale numbers are not
+    # comparable to the committed full-scale baseline.
+    assert report["comparison"] is None
+    assert report["equivalence"]["all_equivalent"] is True
+    rendered = markdown.read_text(encoding="utf-8")
+    assert rendered.startswith("# ")
+    for cell in report["cells"]:
+        assert cell["id"] in rendered
+
+
+def test_missing_metric_in_current_report_is_a_failure(tmp_path, capsys):
+    """Deleting a gated metric from the run is itself a regression."""
+    config = load_config(SCALING_CONFIG)
+    report, _ = run_experiment(
+        config, config_path=SCALING_CONFIG, compare=False
+    )
+    for cell in report["cells"]:
+        if cell["id"] == "ar1/chi_h/vectorized":
+            del cell["stages"]["meta-blocking"]
+    mutated_path = tmp_path / "mutated.json"
+    mutated_path.write_text(json.dumps(report), encoding="utf-8")
+    code = main(
+        ["bench", str(SCALING_CONFIG), "--compare-only", str(mutated_path)]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "retained_edges_chi_h" in captured.out
